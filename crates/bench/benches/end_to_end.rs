@@ -1,0 +1,27 @@
+//! Criterion end-to-end benchmark: every algorithm on a small Syn dataset.
+//! The harness binaries in `src/bin` cover the paper-scale sweeps; this bench
+//! is the regression guard for the relative ordering (who is faster than whom).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpc_bench::{default_params, Algo, BenchDataset};
+use std::hint::black_box;
+
+const N: usize = 6_000;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(N);
+    let params = default_params(&dataset, 1);
+    let mut group = c.benchmark_group("end_to_end_syn_6k");
+    group.sample_size(10);
+
+    for algo in Algo::all(0.8) {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(algo.run(&data, params)).num_clusters())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the kd-tree substrate: bulk build,
+//! incremental insertion, range counting and nearest-neighbour search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpc_data::generators::uniform;
+use dpc_index::KdTree;
+use std::hint::black_box;
+
+const N: usize = 20_000;
+
+fn bench_kd_tree(c: &mut Criterion) {
+    let data = uniform(N, 2, 100_000.0, 1);
+    let mut group = c.benchmark_group("kd_tree");
+    group.sample_size(10);
+
+    group.bench_function("bulk_build_20k", |b| {
+        b.iter(|| black_box(KdTree::build(&data)).len())
+    });
+
+    group.bench_function("incremental_insert_20k", |b| {
+        b.iter_batched(
+            || KdTree::new_empty(&data),
+            |mut tree| {
+                for id in 0..data.len() {
+                    tree.insert(id);
+                }
+                black_box(tree.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let tree = KdTree::build(&data);
+    group.bench_function("range_count_dcut_250", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % data.len();
+            black_box(tree.range_count(data.point(i), 250.0, Some(i)))
+        })
+    });
+
+    group.bench_function("nearest_neighbor", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 31) % data.len();
+            black_box(tree.nearest_neighbor(data.point(i), Some(i)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kd_tree);
+criterion_main!(benches);

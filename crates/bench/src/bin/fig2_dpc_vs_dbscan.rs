@@ -1,0 +1,81 @@
+//! Figure 2: clustering-quality comparison between DPC and DBSCAN on S2.
+//!
+//! The paper's point: with Gaussian clusters that overlap slightly (S2), DPC
+//! recovers all 15 clusters while DBSCAN — whose parameters are tuned to
+//! produce as many clusters as possible — merges neighbouring clusters because
+//! border points connect them. This binary reproduces the comparison
+//! numerically: it reports the number of clusters each method finds and their
+//! agreement (Rand index) with the generator's ground-truth labels.
+
+use dpc_baselines::Dbscan;
+use dpc_bench::cli::print_row;
+use dpc_bench::{default_params, BenchDataset, HarnessArgs};
+use dpc_core::{DpcAlgorithm, ExDpc};
+use dpc_data::generators::s_set_labels;
+use dpc_data::io::write_labeled;
+use dpc_eval::rand_index;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let dataset = BenchDataset::S(2);
+    let data = dataset.generate(args.n);
+    let truth: Vec<i64> = s_set_labels(data.len()).into_iter().map(|l| l as i64).collect();
+    let params = default_params(&dataset, args.threads);
+    println!("Figure 2: DPC vs DBSCAN on {} (n = {})", dataset.name(), data.len());
+
+    // DPC: pick δ_min from the decision graph so that 15 centres are selected,
+    // exactly how the paper instructs users to read Figure 1.
+    let probe = ExDpc::new(params).run(&data);
+    let delta_min = probe
+        .decision_graph()
+        .suggest_delta_min(15, params.rho_min)
+        .unwrap_or(params.delta_min)
+        .max(params.dcut * 1.01);
+    let dpc = ExDpc::new(params.with_delta_min(delta_min)).run(&data);
+
+    // DBSCAN: ε grid-searched to maximise the number of clusters (the paper
+    // uses OPTICS to pick parameters yielding 15 clusters; a sweep over ε has
+    // the same effect for this data).
+    let min_pts = 8;
+    let mut best_labels = Vec::new();
+    let mut best_clusters = 0usize;
+    for eps_factor in [0.4, 0.6, 0.8, 1.0, 1.2, 1.5] {
+        let labels = Dbscan::new(params.dcut * eps_factor, min_pts).run(&data);
+        let clusters = Dbscan::num_clusters(&labels);
+        if clusters > best_clusters {
+            best_clusters = clusters;
+            best_labels = labels;
+        }
+    }
+
+    print_row(
+        &["method".into(), "clusters".into(), "Rand index vs truth".into()],
+        &[12, 10, 22],
+    );
+    print_row(
+        &[
+            "DPC (Ex-DPC)".into(),
+            dpc.num_clusters().to_string(),
+            format!("{:.3}", rand_index(dpc.labels(), &truth)),
+        ],
+        &[12, 10, 22],
+    );
+    print_row(
+        &[
+            "DBSCAN".into(),
+            best_clusters.to_string(),
+            format!("{:.3}", rand_index(&best_labels, &truth)),
+        ],
+        &[12, 10, 22],
+    );
+
+    if let Some(path) = &args.out {
+        write_labeled(format!("{path}.dpc.csv"), &data, dpc.labels()).expect("write DPC labels");
+        write_labeled(format!("{path}.dbscan.csv"), &data, &best_labels)
+            .expect("write DBSCAN labels");
+        println!("\nlabelled points written to {path}.dpc.csv and {path}.dbscan.csv");
+    }
+    println!(
+        "\nExpected shape (paper): DPC recovers all 15 clusters; DBSCAN merges some of them."
+    );
+}

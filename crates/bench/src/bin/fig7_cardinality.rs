@@ -1,0 +1,43 @@
+//! Figure 7: running time vs dataset cardinality (sampling rate) on the four
+//! real-dataset surrogates.
+//!
+//! The quadratic baselines (Scan, R-tree + Scan, CFSFDP-A) are included only
+//! with `--full`, because at larger `--n` they dominate wall-clock time without
+//! changing the conclusion.
+
+use dpc_bench::cli::print_row;
+use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_data::transform::sample_rate;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let algorithms =
+        if args.full { Algo::all(args.epsilon) } else { Algo::fast_only(args.epsilon) };
+    let rates = [0.5, 0.625, 0.75, 0.875, 1.0];
+    println!(
+        "Figure 7: running time [s] vs sampling rate (base n = {}, {} threads, eps = {})",
+        args.n, args.threads, args.epsilon
+    );
+    for dataset in BenchDataset::real_datasets() {
+        let base = dataset.generate(args.n);
+        let params = default_params(&dataset, args.threads);
+        println!("\n{} (d_cut = {})", dataset.name(), params.dcut);
+        let mut header = vec!["rate".to_string()];
+        header.extend(algorithms.iter().map(|a| a.name()));
+        let widths = vec![6; header.len() + 1];
+        print_row(&header, &widths);
+        for rate in rates {
+            let data = sample_rate(&base, rate, 31);
+            let mut cells = vec![format!("{rate:.3}")];
+            for algo in &algorithms {
+                let (_, secs) = run_algorithm(algo, &data, params);
+                cells.push(format!("{secs:.2}"));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    println!(
+        "\nExpected shape (paper): Ex-DPC ≪ exact baselines, Approx-DPC < Ex-DPC, \
+         S-Approx-DPC fastest and closest to linear in the sampling rate."
+    );
+}

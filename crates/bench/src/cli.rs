@@ -1,0 +1,142 @@
+//! Minimal command-line parsing shared by the harness binaries.
+//!
+//! Every binary accepts the same small set of flags so experiments can be
+//! re-run at the paper's full scale:
+//!
+//! ```text
+//! --n <points>        dataset cardinality      (default 20,000)
+//! --threads <t>       worker threads           (default: all available cores)
+//! --epsilon <eps>     ε for S-Approx-DPC       (default 0.8)
+//! --out <path>        CSV output path, when the experiment produces one
+//! --full              include the quadratic baselines in sweep experiments
+//! ```
+
+use crate::datasets::DEFAULT_N;
+
+/// Parsed harness arguments.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// ε for S-Approx-DPC.
+    pub epsilon: f64,
+    /// Optional CSV output path.
+    pub out: Option<String>,
+    /// Include quadratic baselines in expensive sweeps.
+    pub full: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            n: DEFAULT_N,
+            threads: std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+            epsilon: 0.8,
+            out: None,
+            full: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (used by tests).
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            match arg {
+                "--n" => parsed.n = expect_value(&mut iter, "--n"),
+                "--threads" => parsed.threads = expect_value(&mut iter, "--threads"),
+                "--epsilon" => parsed.epsilon = expect_value(&mut iter, "--epsilon"),
+                "--out" => {
+                    parsed.out =
+                        Some(iter.next().expect("--out requires a path").as_ref().to_string())
+                }
+                "--full" => parsed.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --n <points> --threads <t> --epsilon <eps> --out <csv> --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        parsed
+    }
+}
+
+fn expect_value<I, S, T>(iter: &mut I, flag: &str) -> T
+where
+    I: Iterator<Item = S>,
+    S: AsRef<str>,
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw = iter.next().unwrap_or_else(|| panic!("{flag} requires a value"));
+    raw.as_ref()
+        .parse()
+        .unwrap_or_else(|e| panic!("invalid value for {flag}: {} ({e})", raw.as_ref()))
+}
+
+/// Prints a table row with fixed-width columns (shared look across binaries).
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let width = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let args = HarnessArgs::parse(Vec::<String>::new());
+        assert_eq!(args.n, DEFAULT_N);
+        assert!(args.threads >= 1);
+        assert_eq!(args.epsilon, 0.8);
+        assert!(args.out.is_none());
+        assert!(!args.full);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = HarnessArgs::parse(
+            ["--n", "5000", "--threads", "2", "--epsilon", "0.4", "--out", "x.csv", "--full"]
+                .iter(),
+        );
+        assert_eq!(args.n, 5000);
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.epsilon, 0.4);
+        assert_eq!(args.out.as_deref(), Some("x.csv"));
+        assert!(args.full);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flags() {
+        let _ = HarnessArgs::parse(["--bogus"].iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn rejects_bad_values() {
+        let _ = HarnessArgs::parse(["--n", "many"].iter());
+    }
+}

@@ -1,0 +1,109 @@
+//! Bench-scale dataset constructors and default parameters.
+
+use dpc_core::DpcParams;
+use dpc_data::generators::{random_walk, s_set};
+use dpc_data::real::RealDataset;
+use dpc_geometry::Dataset;
+
+/// Default cardinality of the harness datasets. The paper uses 0.1M–5.8M
+/// points; 20k keeps every experiment (including the quadratic baselines)
+/// runnable on a single core within seconds per configuration.
+pub const DEFAULT_N: usize = 20_000;
+
+/// Seed shared by all harness datasets so results are reproducible run-to-run.
+pub const DATASET_SEED: u64 = 20_210_621; // SIGMOD'21 presentation date
+
+/// The datasets used by the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchDataset {
+    /// The 2-d random-walk dataset `Syn` (paper default: 100,000 points).
+    Syn,
+    /// S-set level 1–4 (15 Gaussian clusters, increasing overlap).
+    S(u8),
+    /// One of the four real-dataset surrogates.
+    Real(RealDataset),
+}
+
+impl BenchDataset {
+    /// Name as used in the paper's tables and figures.
+    pub fn name(&self) -> String {
+        match self {
+            BenchDataset::Syn => "Syn".to_string(),
+            BenchDataset::S(level) => format!("S{level}"),
+            BenchDataset::Real(r) => r.name().to_string(),
+        }
+    }
+
+    /// Generates the dataset with `n` points.
+    pub fn generate(&self, n: usize) -> Dataset {
+        match self {
+            BenchDataset::Syn => random_walk(n, 13, 1e5, DATASET_SEED),
+            BenchDataset::S(level) => s_set(*level, n, DATASET_SEED),
+            BenchDataset::Real(r) => r.generate_with(n, DATASET_SEED),
+        }
+    }
+
+    /// The default cutoff distance for this dataset (the paper's defaults:
+    /// 250 for Syn, 1000/5000 for the real datasets; the S-sets use a cutoff
+    /// proportional to their 10^6 domain).
+    pub fn default_dcut(&self) -> f64 {
+        match self {
+            BenchDataset::Syn => 250.0,
+            BenchDataset::S(_) => 20_000.0,
+            BenchDataset::Real(r) => r.default_dcut(),
+        }
+    }
+
+    /// All four real-dataset surrogates.
+    pub fn real_datasets() -> Vec<BenchDataset> {
+        RealDataset::ALL.iter().map(|&r| BenchDataset::Real(r)).collect()
+    }
+}
+
+/// The "default parameters" of the evaluation for a dataset: its default
+/// `d_cut`, `ρ_min = 10` (the paper's example value for removing very sparse
+/// points) and `δ_min = 3·d_cut` (comfortably above the `δ_min > d_cut`
+/// requirement; the exact value only shifts how many centres all algorithms
+/// select and is shared by every algorithm in a comparison).
+pub fn default_params(dataset: &BenchDataset, threads: usize) -> DpcParams {
+    let dcut = dataset.default_dcut();
+    DpcParams::new(dcut)
+        .with_rho_min(10.0)
+        .with_delta_min(3.0 * dcut)
+        .with_threads(threads)
+}
+
+/// Convenience wrapper: dataset at an explicit cardinality.
+pub fn bench_dataset(dataset: &BenchDataset, n: usize) -> Dataset {
+    dataset.generate(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_defaults() {
+        assert_eq!(BenchDataset::Syn.name(), "Syn");
+        assert_eq!(BenchDataset::S(2).name(), "S2");
+        assert_eq!(BenchDataset::Real(RealDataset::Airline).name(), "Airline");
+        assert_eq!(BenchDataset::Real(RealDataset::Sensor).default_dcut(), 5000.0);
+        assert_eq!(BenchDataset::real_datasets().len(), 4);
+    }
+
+    #[test]
+    fn generation_honours_cardinality() {
+        for ds in [BenchDataset::Syn, BenchDataset::S(1), BenchDataset::Real(RealDataset::Sensor)] {
+            assert_eq!(ds.generate(1_000).len(), 1_000, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn default_params_are_valid() {
+        for ds in [BenchDataset::Syn, BenchDataset::Real(RealDataset::Airline)] {
+            let p = default_params(&ds, 4);
+            assert!(p.delta_min > p.dcut);
+            assert_eq!(p.threads, 4);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Algorithm enumeration and timed execution.
+
+use std::time::Instant;
+
+use dpc_baselines::{CfsfdpA, LshDdp, RtreeScan, Scan};
+use dpc_core::{ApproxDpc, Clustering, DpcAlgorithm, DpcParams, ExDpc, SApproxDpc};
+use dpc_geometry::Dataset;
+
+/// The algorithms of the evaluation (§6, "Algorithms").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algo {
+    /// Straightforward `O(n²)` algorithm.
+    Scan,
+    /// Local densities via R-tree, dependent points via Scan.
+    RtreeScan,
+    /// LSH-bucketed approximation baseline.
+    LshDdp,
+    /// Pivot/triangle-inequality exact baseline.
+    CfsfdpA,
+    /// The paper's exact algorithm.
+    ExDpc,
+    /// The paper's parameter-free approximation algorithm.
+    ApproxDpc,
+    /// The paper's sampled approximation algorithm with parameter `ε`.
+    SApproxDpc {
+        /// Approximation parameter (cell side `ε·d_cut/√d`).
+        epsilon: f64,
+    },
+}
+
+impl Algo {
+    /// The evaluation's full algorithm list at a given `ε` for S-Approx-DPC.
+    pub fn all(epsilon: f64) -> Vec<Algo> {
+        vec![
+            Algo::Scan,
+            Algo::RtreeScan,
+            Algo::LshDdp,
+            Algo::CfsfdpA,
+            Algo::ExDpc,
+            Algo::ApproxDpc,
+            Algo::SApproxDpc { epsilon },
+        ]
+    }
+
+    /// The sub-quadratic algorithms only (used by sweeps where running the
+    /// quadratic baselines at every configuration would dominate wall-clock).
+    pub fn fast_only(epsilon: f64) -> Vec<Algo> {
+        vec![Algo::LshDdp, Algo::ExDpc, Algo::ApproxDpc, Algo::SApproxDpc { epsilon }]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Scan => "Scan".to_string(),
+            Algo::RtreeScan => "R-tree + Scan".to_string(),
+            Algo::LshDdp => "LSH-DDP".to_string(),
+            Algo::CfsfdpA => "CFSFDP-A".to_string(),
+            Algo::ExDpc => "Ex-DPC".to_string(),
+            Algo::ApproxDpc => "Approx-DPC".to_string(),
+            Algo::SApproxDpc { .. } => "S-Approx-DPC".to_string(),
+        }
+    }
+
+    /// Runs the algorithm on `data` with the given parameters.
+    pub fn run(&self, data: &Dataset, params: DpcParams) -> Clustering {
+        match self {
+            Algo::Scan => Scan::new(params).run(data),
+            Algo::RtreeScan => RtreeScan::new(params).run(data),
+            Algo::LshDdp => LshDdp::new(params).run(data),
+            Algo::CfsfdpA => CfsfdpA::new(params).run(data),
+            Algo::ExDpc => ExDpc::new(params).run(data),
+            Algo::ApproxDpc => ApproxDpc::new(params).run(data),
+            Algo::SApproxDpc { epsilon } => {
+                SApproxDpc::new(params).with_epsilon(*epsilon).run(data)
+            }
+        }
+    }
+}
+
+/// Runs an algorithm and returns `(clustering, wall_clock_seconds)`.
+pub fn run_algorithm(algo: &Algo, data: &Dataset, params: DpcParams) -> (Clustering, f64) {
+    let start = Instant::now();
+    let clustering = algo.run(data, params);
+    (clustering, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_data::generators::gaussian_blobs;
+
+    #[test]
+    fn all_algorithms_run_and_agree_on_easy_data() {
+        let data = gaussian_blobs(&[(0.0, 0.0), (200.0, 200.0)], 150, 4.0, 5);
+        let params = DpcParams::new(10.0).with_rho_min(4.0).with_delta_min(80.0);
+        for algo in Algo::all(0.5) {
+            let (clustering, secs) = run_algorithm(&algo, &data, params);
+            assert_eq!(clustering.len(), data.len(), "{}", algo.name());
+            assert_eq!(clustering.num_clusters(), 2, "{}", algo.name());
+            assert!(secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn algorithm_lists() {
+        assert_eq!(Algo::all(1.0).len(), 7);
+        assert!(Algo::fast_only(1.0).len() < Algo::all(1.0).len());
+        assert_eq!(Algo::ExDpc.name(), "Ex-DPC");
+    }
+}

@@ -1,0 +1,427 @@
+//! Approx-DPC: grid-accelerated DPC with exact densities, approximate
+//! dependent points, and full parallelisability (§4).
+//!
+//! Compared with Ex-DPC it changes two things:
+//!
+//! * **Joint range search** (§4.2) — points in the same grid cell (side
+//!   `d_cut/√d`) have heavily overlapping query balls, so one kd-tree range
+//!   search per *cell* (query = cell centre `cp_i`, radius
+//!   `d_cut + dist(cp_i, p′)`) returns a superset of every per-point ball in
+//!   the cell; exact densities are then computed by scanning that superset.
+//! * **Cell-based dependent-point approximation** (§4.3) — a point that is not
+//!   the densest of its cell takes the cell's densest point `p*(c)` as its
+//!   approximate dependent point (distance at most `d_cut`); the cell's densest
+//!   point looks for a neighbouring cell whose minimum density is higher.
+//!   Points for which neither rule applies (`P'`) get their **exact** dependent
+//!   point through a density-ordered partition of `P` into `s` subsets with one
+//!   kd-tree each — which is what preserves the cluster centres of Ex-DPC
+//!   (Theorem 4).
+//!
+//! Both phases are parallelised with cost-based (LPT) partitioning, using the
+//! cost models of §4.5.
+
+use std::time::Instant;
+
+use dpc_geometry::{dist, dist_sq, Dataset};
+use dpc_index::{Grid, KdTree};
+use dpc_parallel::Executor;
+
+use crate::framework::{ascending_density_order, finalize, jittered_density};
+use crate::params::DpcParams;
+use crate::result::{Clustering, Timings};
+use crate::DpcAlgorithm;
+
+/// Per-cell metadata produced by the local-density phase (§4.1).
+struct CellMeta {
+    /// The cell's densest point `p*(c)`.
+    p_star: usize,
+    /// The minimum (jittered) density among the cell's points.
+    min_rho: f64,
+    /// Cells containing a point `p ∉ P(c)` with `dist(p*(c), p) < d_cut`.
+    neighbors: Vec<usize>,
+}
+
+/// The Approx-DPC algorithm of §4.
+#[derive(Clone, Copy, Debug)]
+pub struct ApproxDpc {
+    params: DpcParams,
+}
+
+impl ApproxDpc {
+    /// Creates the algorithm with the given parameters.
+    pub fn new(params: DpcParams) -> Self {
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DpcParams {
+        &self.params
+    }
+
+    /// Chooses the number `s` of density-ordered subsets used by the exact
+    /// dependent-point fallback. Equation (2) balances one full-subset scan
+    /// against `s − 1` per-subset nearest-neighbour searches, which gives
+    /// `s ≈ n^{1/(d+1)}`.
+    fn subset_count(n: usize, dim: usize) -> usize {
+        if n < 4 {
+            return 1;
+        }
+        let s = (n as f64).powf(1.0 / (dim as f64 + 1.0)).round() as usize;
+        s.clamp(2, n)
+    }
+
+    /// Local-density phase: joint range searches, exact densities, and per-cell
+    /// metadata. Returns `(rho, grid, cell_meta, kd_tree_bytes)`.
+    fn densities(
+        &self,
+        data: &Dataset,
+        executor: &Executor,
+    ) -> (Vec<f64>, Grid, Vec<CellMeta>, usize) {
+        let dcut = self.params.dcut;
+        let seed = self.params.jitter_seed;
+        let tree = KdTree::build(data);
+        let side = dcut / (data.dim() as f64).sqrt();
+        let grid = Grid::build(data, side);
+        let cells: Vec<usize> = grid.cell_ids().collect();
+
+        // Phase 1: one range search per cell, partitioned by cost_range = |P(c)|.
+        let cost_range: Vec<f64> = cells.iter().map(|&c| grid.points(c).len() as f64).collect();
+        let (supersets, _) = executor.map_partitioned(&cost_range, |ci| {
+            let cell = cells[ci];
+            let center = grid.center(cell);
+            let radius_extra = grid
+                .points(cell)
+                .iter()
+                .map(|&p| dist(&center, data.point(p)))
+                .fold(0.0f64, f64::max);
+            tree.range_search(&center, dcut + radius_extra)
+        });
+
+        // Phase 2: exact densities + cell metadata, partitioned by
+        // cost_scan = |P(c)| · |R(cp, ·)|.
+        let cost_scan: Vec<f64> = cells
+            .iter()
+            .enumerate()
+            .map(|(ci, &c)| (grid.points(c).len() * supersets[ci].len().max(1)) as f64)
+            .collect();
+        let dcut_sq = dcut * dcut;
+        let (cell_results, _) = executor.map_partitioned(&cost_scan, |ci| {
+            let cell = cells[ci];
+            let members = grid.points(cell);
+            let superset = &supersets[ci];
+            let mut densities = Vec::with_capacity(members.len());
+            let mut p_star = members[0];
+            let mut best_rho = f64::NEG_INFINITY;
+            let mut min_rho = f64::INFINITY;
+            for &p in members {
+                let pc = data.point(p);
+                let count = superset
+                    .iter()
+                    .filter(|&&q| q != p && dist_sq(pc, data.point(q)) < dcut_sq)
+                    .count();
+                let rho = jittered_density(count, p, seed);
+                if rho > best_rho {
+                    best_rho = rho;
+                    p_star = p;
+                }
+                if rho < min_rho {
+                    min_rho = rho;
+                }
+                densities.push((p, rho));
+            }
+            // N(c): cells of superset points within d_cut of p*(c) that are not
+            // this cell.
+            let star_coords = data.point(p_star);
+            let mut neighbors: Vec<usize> = superset
+                .iter()
+                .filter(|&&q| {
+                    grid.cell_of(q) != cell && dist_sq(star_coords, data.point(q)) < dcut_sq
+                })
+                .map(|&q| grid.cell_of(q))
+                .collect();
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            (densities, CellMeta { p_star, min_rho, neighbors })
+        });
+
+        let mut rho = vec![0.0f64; data.len()];
+        let mut metas: Vec<CellMeta> = Vec::with_capacity(cells.len());
+        for (densities, meta) in cell_results {
+            for (p, r) in densities {
+                rho[p] = r;
+            }
+            metas.push(meta);
+        }
+        (rho, grid, metas, tree.mem_usage())
+    }
+
+    /// Dependent-point phase (§4.3): the O(1) cell-based approximation plus the
+    /// exact computation for the residual set `P'`. Returns
+    /// `(dependent, delta, subset_tree_bytes)`.
+    fn dependents(
+        &self,
+        data: &Dataset,
+        executor: &Executor,
+        rho: &[f64],
+        grid: &Grid,
+        metas: &[CellMeta],
+    ) -> (Vec<usize>, Vec<f64>, usize) {
+        let n = data.len();
+        let dcut = self.params.dcut;
+        let mut dependent: Vec<usize> = (0..n).collect();
+        let mut delta = vec![f64::INFINITY; n];
+        if n == 0 {
+            return (dependent, delta, 0);
+        }
+
+        // Approximate rules — O(1) per point, evaluated in parallel.
+        let approx: Vec<Option<usize>> = executor.map_dynamic(n, |p| {
+            let cell = grid.cell_of(p);
+            let meta = &metas[cell];
+            if p != meta.p_star {
+                return Some(meta.p_star);
+            }
+            // p is its cell's densest point: look for a neighbouring cell whose
+            // minimum density exceeds ρ_p.
+            metas[cell]
+                .neighbors
+                .iter()
+                .find(|&&c2| metas[c2].min_rho > rho[p])
+                .map(|&c2| metas[c2].p_star)
+        });
+        let mut residual: Vec<usize> = Vec::new();
+        for (p, dep) in approx.into_iter().enumerate() {
+            match dep {
+                Some(q) => {
+                    debug_assert!(rho[q] > rho[p]);
+                    dependent[p] = q;
+                    delta[p] = dcut;
+                }
+                None => residual.push(p),
+            }
+        }
+
+        // Exact computation for P' (§4.3, "Exact computation").
+        let order = ascending_density_order(rho);
+        let mut rank = vec![0usize; n];
+        for (r, &p) in order.iter().enumerate() {
+            rank[p] = r;
+        }
+        let s = Self::subset_count(n, data.dim());
+        let subset_size = n.div_ceil(s);
+        let subsets: Vec<&[usize]> = order.chunks(subset_size).collect();
+        let subset_trees: Vec<KdTree<'_>> = executor
+            .map_dynamic(subsets.len(), |j| KdTree::build_subset(data, subsets[j]));
+        let subset_bytes: usize = subset_trees.iter().map(|t| t.mem_usage()).sum();
+
+        // Cost model of §4.5 for the residual points.
+        let per_subset = subset_size as f64;
+        let nn_cost = per_subset.powf(1.0 - 1.0 / data.dim() as f64);
+        let costs: Vec<f64> = residual
+            .iter()
+            .map(|&p| {
+                let j = rank[p] / subset_size;
+                let higher_subsets = (subsets.len() - j).saturating_sub(1) as f64;
+                let has_case_two = rank[p] % subset_size != subset_size - 1;
+                if has_case_two {
+                    per_subset + higher_subsets * nn_cost
+                } else {
+                    (higher_subsets + 1.0) * nn_cost
+                }
+            })
+            .collect();
+
+        let (exact, _) = executor.map_partitioned(&costs, |ri| {
+            let p = residual[ri];
+            let pc = data.point(p);
+            let my_rank = rank[p];
+            let my_subset = my_rank / subset_size;
+            let mut best: Option<(usize, f64)> = None;
+            // Case (ii): the subset containing p may mix higher and lower
+            // densities — scan only the higher-density part.
+            for &q in subsets[my_subset] {
+                if rank[q] > my_rank {
+                    let d = dist(pc, data.point(q));
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((q, d));
+                    }
+                }
+            }
+            // Case (i): every subset above contains only higher densities — one
+            // nearest-neighbour search each.
+            for (j, tree) in subset_trees.iter().enumerate().skip(my_subset + 1) {
+                debug_assert!(j > my_subset);
+                if let Some((q, d)) = tree.nearest_neighbor(pc, None) {
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((q, d));
+                    }
+                }
+            }
+            best
+        });
+        for (ri, found) in exact.into_iter().enumerate() {
+            let p = residual[ri];
+            if let Some((q, d)) = found {
+                debug_assert!(rho[q] > rho[p]);
+                dependent[p] = q;
+                delta[p] = d;
+            }
+            // else: p is the globally densest point → keeps δ = ∞, q = itself.
+        }
+        (dependent, delta, subset_bytes)
+    }
+}
+
+impl DpcAlgorithm for ApproxDpc {
+    fn name(&self) -> &'static str {
+        "Approx-DPC"
+    }
+
+    fn run(&self, data: &Dataset) -> Clustering {
+        let executor = Executor::new(self.params.threads);
+        let mut timings = Timings::default();
+
+        if data.is_empty() {
+            return finalize(&self.params, vec![], vec![], vec![], timings, 0);
+        }
+
+        let start = Instant::now();
+        let (rho, grid, metas, tree_bytes) = self.densities(data, &executor);
+        timings.rho_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let (dependent, delta, subset_bytes) =
+            self.dependents(data, &executor, &rho, &grid, &metas);
+        timings.delta_secs = start.elapsed().as_secs_f64();
+
+        let index_bytes = tree_bytes + grid.mem_usage() + subset_bytes;
+        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExDpc;
+    use dpc_data::generators::{gaussian_blobs, random_walk, uniform};
+
+    #[test]
+    fn densities_are_exact() {
+        // Approx-DPC computes exact local densities (required by Theorem 4).
+        let data = uniform(500, 2, 100.0, 17);
+        let params = DpcParams::new(7.0);
+        let approx = ApproxDpc::new(params).run(&data);
+        let exact = ExDpc::new(params).run(&data);
+        assert_eq!(approx.rho, exact.rho);
+    }
+
+    #[test]
+    fn same_cluster_centers_as_exdpc() {
+        // Theorem 4: identical ρ_min / δ_min ⇒ identical centres.
+        for seed in [1u64, 2, 3] {
+            let data = random_walk(4_000, 6, 1e4, seed);
+            let params = DpcParams::new(60.0).with_rho_min(4.0).with_delta_min(200.0);
+            let exact = ExDpc::new(params).run(&data);
+            let approx = ApproxDpc::new(params).run(&data);
+            assert_eq!(exact.centers, approx.centers, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delta_is_exact_for_points_with_delta_above_dcut() {
+        let data = uniform(400, 2, 100.0, 23);
+        let params = DpcParams::new(5.0);
+        let exact = ExDpc::new(params).run(&data);
+        let approx = ApproxDpc::new(params).run(&data);
+        for i in 0..data.len() {
+            if exact.delta[i] > params.dcut {
+                assert!(
+                    (exact.delta[i] - approx.delta[i]).abs() < 1e-9
+                        || (exact.delta[i].is_infinite() && approx.delta[i].is_infinite()),
+                    "point {i}: exact δ {} vs approx δ {}",
+                    exact.delta[i],
+                    approx.delta[i]
+                );
+            } else {
+                // Approximated points report δ = d_cut, never more than the truth
+                // by construction of the rules (a close higher-density point exists).
+                assert!(approx.delta[i] <= params.dcut + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_points_always_have_higher_density() {
+        let data = gaussian_blobs(&[(0.0, 0.0), (80.0, 80.0)], 200, 4.0, 31);
+        let params = DpcParams::new(5.0);
+        let clustering = ApproxDpc::new(params).run(&data);
+        for i in 0..data.len() {
+            let dep = clustering.dependent[i];
+            if dep != i {
+                assert!(clustering.rho[dep] > clustering.rho[i]);
+            } else {
+                assert!(clustering.delta[i].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn high_agreement_with_exdpc_on_blobs() {
+        let centers = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)];
+        let data = gaussian_blobs(&centers, 250, 3.0, 7);
+        let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(40.0);
+        let exact = ExDpc::new(params).run(&data);
+        let approx = ApproxDpc::new(params).run(&data);
+        assert_eq!(exact.num_clusters(), 4);
+        assert_eq!(approx.num_clusters(), 4);
+        let agree = exact
+            .assignment
+            .iter()
+            .zip(approx.assignment.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree as f64 / data.len() as f64 > 0.98, "agreement {agree}/{}", data.len());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = random_walk(3_000, 5, 1e4, 4);
+        let params = DpcParams::new(80.0).with_rho_min(3.0).with_delta_min(300.0);
+        let seq = ApproxDpc::new(params.with_threads(1)).run(&data);
+        let par = ApproxDpc::new(params.with_threads(4)).run(&data);
+        assert_eq!(seq.rho, par.rho);
+        assert_eq!(seq.delta, par.delta);
+        assert_eq!(seq.dependent, par.dependent);
+        assert_eq!(seq.assignment, par.assignment);
+    }
+
+    #[test]
+    fn empty_single_and_tiny_inputs() {
+        let params = DpcParams::new(1.0);
+        assert!(ApproxDpc::new(params).run(&Dataset::new(2)).is_empty());
+
+        let single = Dataset::from_flat(2, vec![1.0, 2.0]);
+        let c = ApproxDpc::new(params).run(&single);
+        assert_eq!(c.num_clusters(), 1);
+
+        let two = Dataset::from_flat(2, vec![0.0, 0.0, 10.0, 10.0]);
+        let c = ApproxDpc::new(params).run(&two);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.num_clusters(), 2); // both isolated → both centres
+    }
+
+    #[test]
+    fn subset_count_grows_slowly_with_n() {
+        assert_eq!(ApproxDpc::subset_count(1, 2), 1);
+        assert!(ApproxDpc::subset_count(1_000, 2) >= 2);
+        assert!(ApproxDpc::subset_count(1_000_000, 2) >= ApproxDpc::subset_count(1_000, 2));
+        assert!(ApproxDpc::subset_count(1_000_000, 2) < 1_000);
+    }
+
+    #[test]
+    fn index_bytes_accounts_for_grid_and_trees() {
+        let data = uniform(500, 2, 50.0, 8);
+        let c = ApproxDpc::new(DpcParams::new(3.0)).run(&data);
+        assert!(c.index_bytes > ExDpc::new(DpcParams::new(3.0)).run(&data).index_bytes);
+    }
+}

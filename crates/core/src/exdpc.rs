@@ -1,0 +1,256 @@
+//! Ex-DPC: the exact kd-tree based algorithm (§3).
+//!
+//! * **Local density** — one kd-tree range count per point with radius `d_cut`
+//!   (Lemma 1: `O(n(n^{1-1/d} + ρ_avg))`). The loop is embarrassingly parallel
+//!   and is scheduled dynamically so that points in dense regions (whose range
+//!   searches return more results) do not serialise behind a static split.
+//! * **Dependent points** — the key idea of the paper: destroy the tree, sort
+//!   the points by decreasing local density, and re-insert them one at a time;
+//!   when point `p_i` is about to be inserted, the tree contains exactly the
+//!   points with higher density, so a nearest-neighbour query returns the exact
+//!   dependent point (Lemma 2). This phase is inherently sequential — the
+//!   stated limitation of Ex-DPC that motivates Approx-DPC.
+
+use std::time::Instant;
+
+use dpc_geometry::Dataset;
+use dpc_index::KdTree;
+use dpc_parallel::Executor;
+
+use crate::framework::{descending_density_order, finalize, jittered_density};
+use crate::params::DpcParams;
+use crate::result::{Clustering, Timings};
+use crate::DpcAlgorithm;
+
+/// The exact DPC algorithm of §3.
+#[derive(Clone, Copy, Debug)]
+pub struct ExDpc {
+    params: DpcParams,
+}
+
+impl ExDpc {
+    /// Creates the algorithm with the given parameters.
+    pub fn new(params: DpcParams) -> Self {
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DpcParams {
+        &self.params
+    }
+
+    /// Computes the jittered local density of every point (the `ρ` phase on its
+    /// own). Exposed so benchmarks can time the phases separately (Table 6).
+    pub fn local_densities(&self, data: &Dataset, tree: &KdTree<'_>) -> Vec<f64> {
+        let executor = Executor::new(self.params.threads);
+        let dcut = self.params.dcut;
+        let seed = self.params.jitter_seed;
+        executor.map_dynamic(data.len(), |i| {
+            let count = tree.range_count(data.point(i), dcut, Some(i));
+            jittered_density(count, i, seed)
+        })
+    }
+
+    /// Computes dependent points and distances given the local densities (the
+    /// `δ` phase on its own). Returns `(dependent, delta)`.
+    ///
+    /// This phase is sequential: the kd-tree is rebuilt incrementally in
+    /// decreasing-density order, which is exactly what makes each
+    /// nearest-neighbour query exact.
+    pub fn dependent_points(&self, data: &Dataset, rho: &[f64]) -> (Vec<usize>, Vec<f64>) {
+        let n = data.len();
+        let mut dependent: Vec<usize> = (0..n).collect();
+        let mut delta = vec![f64::INFINITY; n];
+        if n == 0 {
+            return (dependent, delta);
+        }
+        let order = descending_density_order(rho);
+        // Step 1 & 3 of the §3 procedure: the densest point keeps δ = ∞ and
+        // becomes the first tree entry.
+        let mut tree = KdTree::new_empty(data);
+        tree.insert(order[0]);
+        for &i in order.iter().skip(1) {
+            let (nn, dist) = tree
+                .nearest_neighbor(data.point(i), None)
+                .expect("tree is non-empty after the first insertion");
+            dependent[i] = nn;
+            delta[i] = dist;
+            tree.insert(i);
+        }
+        (dependent, delta)
+    }
+}
+
+impl DpcAlgorithm for ExDpc {
+    fn name(&self) -> &'static str {
+        "Ex-DPC"
+    }
+
+    fn run(&self, data: &Dataset) -> Clustering {
+        let mut timings = Timings::default();
+
+        let start = Instant::now();
+        let tree = KdTree::build(data);
+        let rho = self.local_densities(data, &tree);
+        timings.rho_secs = start.elapsed().as_secs_f64();
+        let index_bytes = tree.mem_usage();
+        drop(tree); // §3: "Destroy K" before the dependent phase.
+
+        let start = Instant::now();
+        let (dependent, delta) = self.dependent_points(data, &rho);
+        timings.delta_secs = start.elapsed().as_secs_f64();
+
+        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_data::generators::{gaussian_blobs, uniform};
+    use dpc_geometry::dist;
+
+    /// Brute-force reference: exact ρ and δ per the definitions.
+    fn brute_force(data: &Dataset, params: &DpcParams) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+        let n = data.len();
+        let rho: Vec<f64> = (0..n)
+            .map(|i| {
+                let count = (0..n)
+                    .filter(|&j| j != i && dist(data.point(i), data.point(j)) < params.dcut)
+                    .count();
+                jittered_density(count, i, params.jitter_seed)
+            })
+            .collect();
+        let mut delta = vec![f64::INFINITY; n];
+        let mut dependent: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if rho[j] > rho[i] {
+                    let d = dist(data.point(i), data.point(j));
+                    if d < delta[i] {
+                        delta[i] = d;
+                        dependent[i] = j;
+                    }
+                }
+            }
+        }
+        (rho, delta, dependent)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let data = uniform(400, 2, 100.0, 3);
+        let params = DpcParams::new(8.0).with_rho_min(2.0).with_delta_min(20.0);
+        let clustering = ExDpc::new(params).run(&data);
+        let (rho, delta, _) = brute_force(&data, &params);
+        for i in 0..data.len() {
+            assert!((clustering.rho[i] - rho[i]).abs() < 1e-9, "ρ mismatch at {i}");
+            if delta[i].is_finite() {
+                assert!(
+                    (clustering.delta[i] - delta[i]).abs() < 1e-9,
+                    "δ mismatch at {i}: {} vs {}",
+                    clustering.delta[i],
+                    delta[i]
+                );
+            } else {
+                assert!(clustering.delta[i].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_infinite_delta() {
+        let data = uniform(300, 3, 50.0, 9);
+        let clustering = ExDpc::new(DpcParams::new(5.0)).run(&data);
+        let infinite = clustering.delta.iter().filter(|d| d.is_infinite()).count();
+        assert_eq!(infinite, 1);
+        // And it belongs to the globally densest point.
+        let densest = (0..data.len())
+            .max_by(|&a, &b| clustering.rho[a].partial_cmp(&clustering.rho[b]).unwrap())
+            .unwrap();
+        assert!(clustering.delta[densest].is_infinite());
+        assert_eq!(clustering.dependent[densest], densest);
+    }
+
+    #[test]
+    fn dependent_always_has_higher_density() {
+        let data = gaussian_blobs(&[(0.0, 0.0), (60.0, 60.0)], 150, 3.0, 5);
+        let clustering = ExDpc::new(DpcParams::new(4.0)).run(&data);
+        for i in 0..data.len() {
+            let dep = clustering.dependent[i];
+            if dep != i {
+                assert!(clustering.rho[dep] > clustering.rho[i]);
+                assert!(
+                    (dist(data.point(i), data.point(dep)) - clustering.delta[i]).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finds_well_separated_blobs() {
+        let centers = [(0.0, 0.0), (100.0, 0.0), (50.0, 100.0)];
+        let data = gaussian_blobs(&centers, 120, 2.5, 11);
+        let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(30.0);
+        let clustering = ExDpc::new(params).run(&data);
+        assert_eq!(clustering.num_clusters(), 3);
+        // Points generated from the same blob must share a label (excluding the
+        // rare noise point).
+        for blob in 0..3 {
+            let labels: Vec<i64> = (blob * 120..(blob + 1) * 120)
+                .map(|i| clustering.assignment[i])
+                .filter(|&l| l >= 0)
+                .collect();
+            assert!(!labels.is_empty());
+            assert!(labels.windows(2).all(|w| w[0] == w[1]), "blob {blob} split across clusters");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let data = uniform(600, 2, 100.0, 21);
+        let params = DpcParams::new(6.0).with_rho_min(1.0).with_delta_min(15.0);
+        let seq = ExDpc::new(params.with_threads(1)).run(&data);
+        let par = ExDpc::new(params.with_threads(4)).run(&data);
+        assert_eq!(seq.rho, par.rho);
+        assert_eq!(seq.delta, par.delta);
+        assert_eq!(seq.assignment, par.assignment);
+        assert_eq!(seq.centers, par.centers);
+    }
+
+    #[test]
+    fn empty_and_single_point_inputs() {
+        let params = DpcParams::new(1.0);
+        let empty = Dataset::new(2);
+        let c = ExDpc::new(params).run(&empty);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+
+        let single = Dataset::from_flat(2, vec![3.0, 4.0]);
+        let c = ExDpc::new(params).run(&single);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.num_clusters(), 1);
+        assert!(c.delta[0].is_infinite());
+    }
+
+    #[test]
+    fn identical_points_do_not_break_tie_handling() {
+        let data = Dataset::from_flat(2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let clustering = ExDpc::new(DpcParams::new(0.5)).run(&data);
+        // All densities distinct thanks to the jitter, exactly one ∞ δ, all
+        // other points have δ = 0 (their dependent point coincides).
+        assert_eq!(clustering.delta.iter().filter(|d| d.is_infinite()).count(), 1);
+        assert_eq!(clustering.delta.iter().filter(|d| **d == 0.0).count(), 3);
+        assert_eq!(clustering.num_clusters(), 1);
+        assert!(clustering.assignment.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn timings_and_index_bytes_are_populated() {
+        let data = uniform(200, 2, 10.0, 2);
+        let clustering = ExDpc::new(DpcParams::new(1.0)).run(&data);
+        assert!(clustering.timings.rho_secs >= 0.0);
+        assert!(clustering.timings.delta_secs >= 0.0);
+        assert!(clustering.index_bytes > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Steps shared by every DPC algorithm: density tie-breaking, centre/noise
+//! selection, and cluster-label propagation (§2.1 and §2.2, step 4).
+
+use crate::params::DpcParams;
+use crate::result::{Clustering, Timings, NOISE};
+
+/// Adds a deterministic jitter in `(0, 1)` to an integer local density so that
+/// all densities are pairwise distinct, as the paper assumes for the
+/// dependent-point computation ("practically possible by adding a random value
+/// ∈ (0,1) to ρ_i", §3). The jitter is a pure function of `(point id, seed)`,
+/// so every algorithm produces identical densities for identical inputs and the
+/// approximation algorithms inherit Ex-DPC's exact tie-breaks.
+#[inline]
+pub fn jittered_density(count: usize, point_id: usize, seed: u64) -> f64 {
+    count as f64 + jitter01(point_id as u64 ^ seed)
+}
+
+/// A deterministic pseudo-random value in `(0, 1)` derived from `x` with the
+/// SplitMix64 finaliser.
+#[inline]
+fn jitter01(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    // Map to (0, 1): never exactly 0 (add 1) and never exactly 1 (divide by 2^53 + 2).
+    ((z >> 11) as f64 + 1.0) / (9_007_199_254_740_994.0)
+}
+
+/// Point identifiers sorted by decreasing local density (ties impossible after
+/// jittering).
+pub fn descending_density_order(rho: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rho.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        rho[b].partial_cmp(&rho[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Point identifiers sorted by increasing local density.
+pub fn ascending_density_order(rho: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rho.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        rho[a].partial_cmp(&rho[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Selects noise points and cluster centres and propagates cluster labels.
+///
+/// * noise: `ρ < ρ_min` (Definition 4);
+/// * centre: non-noise and `δ ≥ δ_min` (Definition 5);
+/// * every other point receives the label of its dependent point (Definition 6).
+///
+/// Points are processed in decreasing density order, so a point's dependent
+/// point (which always has strictly higher density) is labelled first and the
+/// propagation is a single `O(n)` pass after the sort — the depth-first label
+/// propagation of §2.1 without recursion. If a point's dependent point is
+/// noise, the noise label propagates (the point is not reachable from any
+/// centre through non-noise points).
+///
+/// Returns `(centres, assignment)` where centres are listed in ascending id
+/// order and `assignment[i]` is the cluster index of point `i` (the cluster
+/// index is the rank of its centre in the centres list) or [`NOISE`].
+pub fn select_and_assign(
+    params: &DpcParams,
+    rho: &[f64],
+    delta: &[f64],
+    dependent: &[usize],
+) -> (Vec<usize>, Vec<i64>) {
+    let n = rho.len();
+    assert_eq!(delta.len(), n);
+    assert_eq!(dependent.len(), n);
+    let mut centers: Vec<usize> = (0..n)
+        .filter(|&i| rho[i] >= params.rho_min && delta[i] >= params.delta_min)
+        .collect();
+    centers.sort_unstable();
+    let mut center_rank = vec![usize::MAX; n];
+    for (rank, &c) in centers.iter().enumerate() {
+        center_rank[c] = rank;
+    }
+
+    let mut assignment = vec![NOISE; n];
+    for &i in &descending_density_order(rho) {
+        if rho[i] < params.rho_min {
+            assignment[i] = NOISE;
+            continue;
+        }
+        if center_rank[i] != usize::MAX {
+            assignment[i] = center_rank[i] as i64;
+            continue;
+        }
+        let dep = dependent[i];
+        debug_assert!(dep == i || rho[dep] > rho[i], "dependent point must have higher density");
+        assignment[i] = if dep == i { NOISE } else { assignment[dep] };
+    }
+    (centers, assignment)
+}
+
+/// Assembles a [`Clustering`] from the per-point quantities computed by an
+/// algorithm, running centre selection and label propagation (and timing it).
+pub fn finalize(
+    params: &DpcParams,
+    rho: Vec<f64>,
+    delta: Vec<f64>,
+    dependent: Vec<usize>,
+    mut timings: Timings,
+    index_bytes: usize,
+) -> Clustering {
+    let start = std::time::Instant::now();
+    let (centers, assignment) = select_and_assign(params, &rho, &delta, &dependent);
+    timings.assign_secs = start.elapsed().as_secs_f64();
+    Clustering { rho, delta, dependent, centers, assignment, timings, index_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_in_unit_interval() {
+        for id in 0..10_000usize {
+            let j = jittered_density(0, id, 42);
+            assert!(j > 0.0 && j < 1.0, "jitter {j} out of (0,1)");
+            assert_eq!(j, jittered_density(0, id, 42));
+        }
+        assert_ne!(jittered_density(0, 1, 42), jittered_density(0, 2, 42));
+        assert_ne!(jittered_density(0, 1, 42), jittered_density(0, 1, 43));
+    }
+
+    #[test]
+    fn jittered_density_preserves_count_ordering() {
+        assert!(jittered_density(5, 0, 1) > jittered_density(4, 99, 1));
+        assert!(jittered_density(10, 7, 1) < jittered_density(11, 3, 1));
+    }
+
+    #[test]
+    fn density_orders_are_inverse_of_each_other() {
+        let rho = vec![3.2, 1.1, 9.9, 0.5, 7.7];
+        let desc = descending_density_order(&rho);
+        let mut asc = ascending_density_order(&rho);
+        asc.reverse();
+        assert_eq!(desc, asc);
+        assert_eq!(desc[0], 2);
+        assert_eq!(desc[4], 3);
+    }
+
+    /// A small hand-built scenario: two centres, a chain of followers, one
+    /// noise point, and a point attached to the noise point.
+    fn toy() -> (DpcParams, Vec<f64>, Vec<f64>, Vec<usize>) {
+        let params = DpcParams::new(1.0).with_rho_min(2.0).with_delta_min(5.0);
+        //            0     1     2     3     4     5
+        let rho = vec![10.0, 8.0, 6.0, 1.0, 9.0, 0.5];
+        let delta = vec![f64::INFINITY, 1.0, 1.0, 1.0, 6.0, 1.0];
+        let dependent = vec![0, 0, 1, 5, 0, 4];
+        (params, rho, delta, dependent)
+    }
+
+    #[test]
+    fn select_and_assign_toy_case() {
+        let (params, rho, delta, dependent) = toy();
+        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        // Centres: 0 (δ = ∞) and 4 (δ = 6 ≥ 5). Point 3 and 5 are noise (ρ < 2).
+        assert_eq!(centers, vec![0, 4]);
+        assert_eq!(assignment[0], 0);
+        assert_eq!(assignment[1], 0);
+        assert_eq!(assignment[2], 0);
+        assert_eq!(assignment[4], 1);
+        assert_eq!(assignment[3], NOISE);
+        assert_eq!(assignment[5], NOISE);
+    }
+
+    #[test]
+    fn labels_propagate_through_long_dependency_chains() {
+        // A chain 9 → 8 → … → 0 where only point 9 is a centre: every point
+        // must inherit cluster 0 through the chain in one pass.
+        let params = DpcParams::new(1.0).with_rho_min(0.0).with_delta_min(5.0);
+        let n = 10usize;
+        let rho: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+        let mut delta = vec![1.0; n];
+        delta[n - 1] = f64::INFINITY;
+        let dependent: Vec<usize> = (0..n).map(|i| if i + 1 < n { i + 1 } else { i }).collect();
+        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        assert_eq!(centers, vec![n - 1]);
+        assert!(assignment.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn everything_noise_when_rho_min_is_huge() {
+        let params = DpcParams::new(1.0).with_rho_min(1e9).with_delta_min(2.0);
+        let rho = vec![1.0, 2.0, 3.0];
+        let delta = vec![1.0, 1.0, f64::INFINITY];
+        let dependent = vec![2, 2, 2];
+        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        assert!(centers.is_empty());
+        assert!(assignment.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let params = DpcParams::new(1.0);
+        let (centers, assignment) =
+            select_and_assign(&params, &[0.5], &[f64::INFINITY], &[0]);
+        assert_eq!(centers, vec![0]);
+        assert_eq!(assignment, vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let params = DpcParams::new(1.0);
+        let (centers, assignment) = select_and_assign(&params, &[], &[], &[]);
+        assert!(centers.is_empty());
+        assert!(assignment.is_empty());
+    }
+
+    #[test]
+    fn finalize_populates_all_fields() {
+        let (params, rho, delta, dependent) = toy();
+        let clustering = finalize(
+            &params,
+            rho.clone(),
+            delta.clone(),
+            dependent.clone(),
+            Timings { rho_secs: 0.1, delta_secs: 0.2, assign_secs: 0.0 },
+            77,
+        );
+        assert_eq!(clustering.rho, rho);
+        assert_eq!(clustering.num_clusters(), 2);
+        assert_eq!(clustering.index_bytes, 77);
+        assert!(clustering.timings.assign_secs >= 0.0);
+    }
+}

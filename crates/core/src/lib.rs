@@ -1,0 +1,48 @@
+//! Density-Peaks Clustering (DPC) and the paper's three fast algorithms.
+//!
+//! Given a set `P` of `n` points and a cutoff distance `d_cut`, DPC computes for
+//! every point its **local density** `ρ` (number of points closer than `d_cut`,
+//! Definition 1) and its **dependent distance** `δ` (distance to the nearest
+//! point of higher local density, Definitions 2–3), labels points with
+//! `ρ < ρ_min` as noise, selects non-noise points with `δ ≥ δ_min` as cluster
+//! centres, and assigns every other point to the cluster of its dependent point.
+//!
+//! This crate provides:
+//!
+//! * the shared framework (parameters, decision graph, label propagation) in
+//!   [`params`], [`result`] and [`framework`];
+//! * [`ExDpc`] — the exact kd-tree algorithm of §3;
+//! * [`ApproxDpc`] — the grid / joint-range-search algorithm of §4, which keeps
+//!   cluster centres exact (Theorem 4);
+//! * [`SApproxDpc`] — the sampled cell-clustering algorithm of §5 with
+//!   approximation parameter `ε`.
+//!
+//! The baselines the paper compares against (Scan, R-tree + Scan, LSH-DDP,
+//! CFSFDP-A, DBSCAN) live in the `dpc-baselines` crate.
+
+pub mod approx;
+pub mod exdpc;
+pub mod framework;
+pub mod params;
+pub mod result;
+pub mod sapprox;
+
+pub use approx::ApproxDpc;
+pub use exdpc::ExDpc;
+pub use params::DpcParams;
+pub use result::{Clustering, DecisionGraph, Timings, NOISE};
+pub use sapprox::SApproxDpc;
+
+/// Per-point cluster labels: `labels[i]` is the cluster index of point `i`, or
+/// [`NOISE`] (−1) when the point was classified as noise.
+pub type Assignment = Vec<i64>;
+
+/// A Density-Peaks Clustering algorithm: consumes a dataset and produces a full
+/// [`Clustering`] (densities, dependent distances, centres, labels, timings).
+pub trait DpcAlgorithm {
+    /// Human-readable algorithm name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm on `data`.
+    fn run(&self, data: &dpc_geometry::Dataset) -> Clustering;
+}

@@ -1,0 +1,132 @@
+//! DPC parameters.
+
+/// Parameters shared by every DPC algorithm in the workspace.
+///
+/// The paper's framework needs three user-specified values — the cutoff
+/// distance `d_cut`, the noise threshold `ρ_min` and the centre threshold
+/// `δ_min` (with `δ_min > d_cut`, Definition 5) — plus, for the parallel
+/// implementations, the number of threads. `SApproxDpc` additionally takes its
+/// approximation parameter `ε` (see [`crate::SApproxDpc::with_epsilon`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DpcParams {
+    /// Cutoff distance `d_cut` of Definition 1.
+    pub dcut: f64,
+    /// Noise threshold: points with `ρ < ρ_min` are noise (Definition 4).
+    pub rho_min: f64,
+    /// Centre threshold: non-noise points with `δ ≥ δ_min` become cluster
+    /// centres (Definition 5). Must be larger than `dcut` for the approximation
+    /// algorithms' centre guarantee (Theorem 4) to apply.
+    pub delta_min: f64,
+    /// Number of worker threads used by the parallel phases.
+    pub threads: usize,
+    /// Seed of the deterministic tie-breaking jitter added to every local
+    /// density so that all densities are distinct (§3, "we assume that all
+    /// points have different local densities").
+    pub jitter_seed: u64,
+}
+
+impl DpcParams {
+    /// Creates parameters with the given cutoff distance and conservative
+    /// defaults: `ρ_min = 0` (no noise), `δ_min = 2·d_cut`, one thread.
+    ///
+    /// # Panics
+    /// Panics unless `dcut` is strictly positive and finite.
+    pub fn new(dcut: f64) -> Self {
+        assert!(dcut.is_finite() && dcut > 0.0, "d_cut must be positive and finite, got {dcut}");
+        Self { dcut, rho_min: 0.0, delta_min: 2.0 * dcut, threads: 1, jitter_seed: 0x5eed }
+    }
+
+    /// Sets the noise threshold `ρ_min`.
+    ///
+    /// # Panics
+    /// Panics if `rho_min` is negative or not finite.
+    pub fn with_rho_min(mut self, rho_min: f64) -> Self {
+        assert!(rho_min.is_finite() && rho_min >= 0.0, "ρ_min must be non-negative and finite");
+        self.rho_min = rho_min;
+        self
+    }
+
+    /// Sets the centre threshold `δ_min`.
+    ///
+    /// # Panics
+    /// Panics if `delta_min` is not strictly greater than `d_cut` — Definition 5
+    /// requires `δ_min > d_cut`, and the approximation algorithms rely on it.
+    pub fn with_delta_min(mut self, delta_min: f64) -> Self {
+        assert!(
+            delta_min.is_finite() && delta_min > self.dcut,
+            "δ_min must be finite and greater than d_cut ({} given, d_cut = {})",
+            delta_min,
+            self.dcut
+        );
+        self.delta_min = delta_min;
+        self
+    }
+
+    /// Sets the number of worker threads (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the density tie-breaking seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let p = DpcParams::new(5.0);
+        assert_eq!(p.dcut, 5.0);
+        assert_eq!(p.rho_min, 0.0);
+        assert_eq!(p.delta_min, 10.0);
+        assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = DpcParams::new(2.0)
+            .with_rho_min(10.0)
+            .with_delta_min(50.0)
+            .with_threads(8)
+            .with_jitter_seed(99);
+        assert_eq!(p.rho_min, 10.0);
+        assert_eq!(p.delta_min, 50.0);
+        assert_eq!(p.threads, 8);
+        assert_eq!(p.jitter_seed, 99);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(DpcParams::new(1.0).with_threads(0).threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_cut must be positive")]
+    fn zero_dcut_rejected() {
+        let _ = DpcParams::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_cut must be positive")]
+    fn nan_dcut_rejected() {
+        let _ = DpcParams::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "greater than d_cut")]
+    fn delta_min_must_exceed_dcut() {
+        let _ = DpcParams::new(10.0).with_delta_min(5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ_min")]
+    fn negative_rho_min_rejected() {
+        let _ = DpcParams::new(1.0).with_rho_min(-1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Synthetic dataset generators.
+//!
+//! * [`random_walk`] — the model behind the paper's `Syn` dataset (2-d, domain
+//!   `[0, 10^5]`, clusters formed by random-walk trajectories, as introduced by
+//!   Gan & Tao for DBSCAN evaluation and reused in §6).
+//! * [`s_set`] — the S1–S4 benchmark family (Fränti & Sieranoja): 15 Gaussian
+//!   clusters with an increasing degree of overlap.
+//! * [`gaussian_blobs`] — generic isotropic Gaussian mixtures used by examples
+//!   and tests.
+//! * [`uniform`] — uniform background noise over a box, used to study noise-rate
+//!   robustness (Table 2).
+
+use dpc_geometry::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one standard-normal sample with the Box–Muller transform.
+///
+/// Implemented locally to keep the dependency set to `rand` alone (the paper's
+/// generators only need Gaussian and uniform variates).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates `n` points uniformly distributed over `[0, domain]^dim`.
+pub fn uniform(n: usize, dim: usize, domain: f64, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimensionality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for c in row.iter_mut() {
+            *c = rng.gen_range(0.0..=domain);
+        }
+        ds.push(&row);
+    }
+    ds
+}
+
+/// Generates isotropic Gaussian blobs: `per_blob` points around every centre
+/// with the given standard deviation.
+pub fn gaussian_blobs(centers: &[(f64, f64)], per_blob: usize, std_dev: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(2, centers.len() * per_blob);
+    for &(cx, cy) in centers {
+        for _ in 0..per_blob {
+            ds.push(&[cx + std_dev * standard_normal(&mut rng), cy + std_dev * standard_normal(&mut rng)]);
+        }
+    }
+    ds
+}
+
+/// Generates Gaussian blobs in arbitrary dimensionality.
+pub fn gaussian_blobs_nd(
+    centers: &[Vec<f64>],
+    per_blob: usize,
+    std_dev: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(!centers.is_empty(), "at least one centre is required");
+    let dim = centers[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(dim, centers.len() * per_blob);
+    let mut row = vec![0.0; dim];
+    for center in centers {
+        assert_eq!(center.len(), dim, "all centres must share a dimensionality");
+        for _ in 0..per_blob {
+            for (i, c) in row.iter_mut().enumerate() {
+                *c = center[i] + std_dev * standard_normal(&mut rng);
+            }
+            ds.push(&row);
+        }
+    }
+    ds
+}
+
+/// The random-walk model behind the paper's `Syn` dataset (§6, "generated based
+/// on a random walk model introduced in [17]").
+///
+/// `clusters` walkers start at uniformly random positions in `[0, domain]^2`;
+/// each walker takes `n / clusters` steps, every step moving by a uniform offset
+/// in `[-step, step]` per coordinate (clamped to the domain), and every visited
+/// position becomes a data point. The result is a set of snake-like dense
+/// regions of arbitrary shape — exactly the kind of data density-based
+/// clustering is designed for. The paper's default has `n = 100,000`,
+/// `domain = 10^5` and 13 density peaks; `random_walk(n, 13, 1e5, seed)`
+/// reproduces that configuration.
+pub fn random_walk(n: usize, clusters: usize, domain: f64, seed: u64) -> Dataset {
+    assert!(clusters > 0, "at least one walker is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(2, n);
+    let per_walker = n.div_ceil(clusters);
+    // Step size chosen relative to the domain so that a walker's trajectory
+    // stays compact (a dense cluster) rather than filling the whole domain.
+    let step = domain / 400.0;
+    let mut produced = 0usize;
+    for _ in 0..clusters {
+        let mut x = rng.gen_range(0.15 * domain..0.85 * domain);
+        let mut y = rng.gen_range(0.15 * domain..0.85 * domain);
+        for _ in 0..per_walker {
+            if produced == n {
+                break;
+            }
+            x = (x + rng.gen_range(-step..=step)).clamp(0.0, domain);
+            y = (y + rng.gen_range(-step..=step)).clamp(0.0, domain);
+            ds.push(&[x, y]);
+            produced += 1;
+        }
+    }
+    ds
+}
+
+/// The S-set benchmark family (S1–S4): `n` points drawn from 15 Gaussian
+/// clusters laid out on a jittered 4×4 grid (one position unused) over the
+/// domain `[0, 10^6]^2`, with the cluster spread increasing with `level`
+/// (1 → well separated … 4 → strongly overlapping), mirroring the published
+/// S-sets' increasing overlap.
+///
+/// # Panics
+/// Panics unless `1 <= level <= 4`.
+pub fn s_set(level: u8, n: usize, seed: u64) -> Dataset {
+    assert!((1..=4).contains(&level), "S-set level must be in 1..=4, got {level}");
+    const DOMAIN: f64 = 1_000_000.0;
+    const CLUSTERS: usize = 15;
+    let mut rng = StdRng::seed_from_u64(seed ^ (level as u64) << 32);
+    // 15 centres on a jittered 4×4 lattice (the final lattice slot is dropped),
+    // keeping centres away from the domain boundary.
+    let mut centers = Vec::with_capacity(CLUSTERS);
+    for i in 0..CLUSTERS {
+        let gx = (i % 4) as f64;
+        let gy = (i / 4) as f64;
+        let jitter_x = rng.gen_range(-0.05..0.05) * DOMAIN;
+        let jitter_y = rng.gen_range(-0.05..0.05) * DOMAIN;
+        centers.push((
+            (0.15 + 0.23 * gx) * DOMAIN + jitter_x,
+            (0.15 + 0.23 * gy) * DOMAIN + jitter_y,
+        ));
+    }
+    // Spread grows with the level; S4 clusters overlap heavily.
+    let std_dev = match level {
+        1 => 0.020 * DOMAIN,
+        2 => 0.032 * DOMAIN,
+        3 => 0.046 * DOMAIN,
+        _ => 0.060 * DOMAIN,
+    };
+    let mut ds = Dataset::with_capacity(2, n);
+    for i in 0..n {
+        let (cx, cy) = centers[i % CLUSTERS];
+        let x = (cx + std_dev * standard_normal(&mut rng)).clamp(0.0, DOMAIN);
+        let y = (cy + std_dev * standard_normal(&mut rng)).clamp(0.0, DOMAIN);
+        ds.push(&[x, y]);
+    }
+    ds
+}
+
+/// The ground-truth cluster label (0..15) of every point generated by [`s_set`]
+/// with the same `n`. Useful for external validation in tests; the benchmark
+/// harness follows the paper and uses Ex-DPC's output as ground truth instead.
+pub fn s_set_labels(n: usize) -> Vec<usize> {
+    (0..n).map(|i| i % 15).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_domain_and_count() {
+        let ds = uniform(500, 3, 10.0, 1);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 3);
+        for (_, p) in ds.iter() {
+            assert!(p.iter().all(|&c| (0.0..=10.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform(100, 2, 5.0, 9), uniform(100, 2, 5.0, 9));
+        assert_eq!(random_walk(1000, 5, 1e5, 3), random_walk(1000, 5, 1e5, 3));
+        assert_eq!(s_set(2, 1000, 7), s_set(2, 1000, 7));
+        assert_ne!(uniform(100, 2, 5.0, 9), uniform(100, 2, 5.0, 10));
+    }
+
+    #[test]
+    fn gaussian_blobs_cluster_around_centers() {
+        let ds = gaussian_blobs(&[(0.0, 0.0), (100.0, 100.0)], 200, 1.0, 11);
+        assert_eq!(ds.len(), 400);
+        // Points from the first blob are much closer to (0,0) than to (100,100).
+        let near_origin = ds
+            .iter()
+            .filter(|(_, p)| dpc_geometry::dist(p, &[0.0, 0.0]) < 10.0)
+            .count();
+        assert!(near_origin >= 195, "expected ~200 points near the origin, got {near_origin}");
+    }
+
+    #[test]
+    fn gaussian_blobs_nd_dimensionality() {
+        let centers = vec![vec![0.0; 5], vec![50.0; 5]];
+        let ds = gaussian_blobs_nd(&centers, 50, 2.0, 3);
+        assert_eq!(ds.dim(), 5);
+        assert_eq!(ds.len(), 100);
+    }
+
+    #[test]
+    fn random_walk_exact_count_and_domain() {
+        let ds = random_walk(10_000, 13, 1e5, 42);
+        assert_eq!(ds.len(), 10_000);
+        assert_eq!(ds.dim(), 2);
+        for (_, p) in ds.iter() {
+            assert!((0.0..=1e5).contains(&p[0]));
+            assert!((0.0..=1e5).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn random_walk_forms_compact_clusters() {
+        // Each walker's trajectory should cover a small fraction of the domain.
+        let clusters = 4usize;
+        let n = 4000usize;
+        let ds = random_walk(n, clusters, 1e5, 5);
+        let per = n / clusters;
+        for c in 0..clusters {
+            let ids: Vec<usize> = (c * per..(c + 1) * per).collect();
+            let sub = ds.select(&ids);
+            let rect = sub.bounding_rect().unwrap();
+            assert!(rect.extent(0) < 0.5 * 1e5, "trajectory spans too much of the domain");
+            assert!(rect.extent(1) < 0.5 * 1e5);
+        }
+    }
+
+    #[test]
+    fn s_set_levels_increase_spread() {
+        // Mean distance of a point to its own cluster centre grows with level.
+        let n = 3000;
+        let mut spreads = Vec::new();
+        for level in 1..=4u8 {
+            let ds = s_set(level, n, 1);
+            // Estimate spread as mean pairwise distance of points with the same
+            // label index (generated round-robin).
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for i in (0..n).step_by(97) {
+                for j in (0..n).step_by(89) {
+                    if i != j && i % 15 == j % 15 {
+                        total += dpc_geometry::dist(ds.point(i), ds.point(j));
+                        count += 1;
+                    }
+                }
+            }
+            spreads.push(total / count as f64);
+        }
+        assert!(spreads[0] < spreads[1] && spreads[1] < spreads[2] && spreads[2] < spreads[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "S-set level")]
+    fn s_set_rejects_invalid_level() {
+        let _ = s_set(5, 100, 1);
+    }
+
+    #[test]
+    fn s_set_labels_round_robin() {
+        let labels = s_set_labels(31);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[15], 0);
+        assert_eq!(labels[16], 1);
+        assert_eq!(labels.len(), 31);
+    }
+
+    #[test]
+    fn standard_normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+}

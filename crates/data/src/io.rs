@@ -1,0 +1,195 @@
+//! CSV import/export for datasets and clustering labels.
+//!
+//! The benchmark harness writes per-point cluster labels for the visual
+//! experiments (Figure 2 and Figure 6) so they can be plotted externally, and
+//! users can load their own whitespace/comma-separated point files.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use dpc_geometry::Dataset;
+
+/// Errors produced while reading a dataset from disk.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed as a point.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a dataset from a text file with one point per line, coordinates
+/// separated by commas or whitespace. Empty lines and lines starting with `#`
+/// are skipped. The dimensionality is inferred from the first data line and
+/// enforced for the rest of the file.
+pub fn read_points<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut dataset: Option<Dataset> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let coords = parse_line(trimmed).map_err(|message| IoError::Parse {
+            line: lineno + 1,
+            message,
+        })?;
+        match dataset.as_mut() {
+            None => dataset = Some(Dataset::from_flat(coords.len(), coords)),
+            Some(ds) => {
+                if coords.len() != ds.dim() {
+                    return Err(IoError::Parse {
+                        line: lineno + 1,
+                        message: format!(
+                            "expected {} coordinates, found {}",
+                            ds.dim(),
+                            coords.len()
+                        ),
+                    });
+                }
+                ds.push(&coords);
+            }
+        }
+    }
+    dataset.ok_or_else(|| IoError::Parse { line: 0, message: "file contains no points".into() })
+}
+
+fn parse_line(line: &str) -> Result<Vec<f64>, String> {
+    let coords: Result<Vec<f64>, _> = line
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|tok| !tok.is_empty())
+        .map(|tok| tok.parse::<f64>().map_err(|e| format!("'{tok}': {e}")))
+        .collect();
+    let coords = coords?;
+    if coords.is_empty() {
+        return Err("no coordinates on line".into());
+    }
+    Ok(coords)
+}
+
+/// Writes a dataset as comma-separated values, one point per line.
+pub fn write_points<P: AsRef<Path>>(path: P, data: &Dataset) -> io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    for (_, p) in data.iter() {
+        let mut first = true;
+        for c in p {
+            if !first {
+                write!(writer, ",")?;
+            }
+            write!(writer, "{c}")?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    writer.flush()
+}
+
+/// Writes points together with an integer label per point
+/// (`x1,...,xd,label`). Used by the Figure 2 / Figure 6 harness targets.
+pub fn write_labeled<P: AsRef<Path>>(path: P, data: &Dataset, labels: &[i64]) -> io::Result<()> {
+    assert_eq!(data.len(), labels.len(), "one label per point is required");
+    let mut writer = BufWriter::new(File::create(path)?);
+    for (id, p) in data.iter() {
+        for c in p {
+            write!(writer, "{c},")?;
+        }
+        writeln!(writer, "{}", labels[id])?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fast_dpc_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_points() {
+        let ds = uniform(100, 3, 10.0, 1);
+        let path = temp_path("roundtrip.csv");
+        write_points(&path, &ds).unwrap();
+        let back = read_points(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.dim(), ds.dim());
+        for id in 0..ds.len() {
+            for (a, b) in ds.point(id).iter().zip(back.point(id)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_skips_comments_and_blank_lines() {
+        let path = temp_path("comments.csv");
+        std::fs::write(&path, "# header\n\n1.0, 2.0\n3.0 4.0\n").unwrap();
+        let ds = read_points(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[3.0, 4.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let path = temp_path("ragged.csv");
+        std::fs::write(&path, "1,2\n3,4,5\n").unwrap();
+        let err = read_points(&path).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "got {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let path = temp_path("garbage.csv");
+        std::fs::write(&path, "1,abc\n").unwrap();
+        assert!(read_points(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_empty_file_is_an_error() {
+        let path = temp_path("empty.csv");
+        std::fs::write(&path, "# only a comment\n").unwrap();
+        assert!(read_points(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_labeled_includes_labels() {
+        let ds = uniform(5, 2, 1.0, 3);
+        let labels = vec![0, 1, 2, -1, 1];
+        let path = temp_path("labeled.csv");
+        write_labeled(&path, &ds, &labels).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].ends_with(",-1"));
+        std::fs::remove_file(path).ok();
+    }
+}

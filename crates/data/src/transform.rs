@@ -1,0 +1,144 @@
+//! Dataset transformations used by the evaluation: noise injection (Table 2)
+//! and uniform sampling (Figure 7, "impact of cardinality").
+
+use dpc_geometry::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Adds uniformly distributed noise points to a dataset.
+///
+/// `rate` is interpreted the way the paper's Table 2 uses it: the number of
+/// injected noise points is `rate * n` where `n` is the size of the original
+/// dataset (so `rate = 0.16` adds 16% extra points). The noise points are drawn
+/// uniformly from the bounding box of the original data and appended at the end
+/// of the returned dataset, so the first `n` identifiers still refer to the
+/// original points.
+///
+/// # Panics
+/// Panics if `rate` is negative or not finite, or if the dataset is empty.
+pub fn add_noise(data: &Dataset, rate: f64, seed: u64) -> Dataset {
+    assert!(rate.is_finite() && rate >= 0.0, "noise rate must be a non-negative finite number");
+    assert!(!data.is_empty(), "cannot infer a noise domain from an empty dataset");
+    let noise_count = (data.len() as f64 * rate).round() as usize;
+    let rect = data.bounding_rect().expect("non-empty dataset has a bounding rect");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Dataset::with_capacity(data.dim(), data.len() + noise_count);
+    for (_, p) in data.iter() {
+        out.push(p);
+    }
+    let mut row = vec![0.0; data.dim()];
+    for _ in 0..noise_count {
+        for (i, value) in row.iter_mut().enumerate() {
+            *value = rng.gen_range(rect.lo()[i]..=rect.hi()[i]);
+        }
+        out.push(&row);
+    }
+    out
+}
+
+/// Uniformly samples a fraction `rate ∈ (0, 1]` of the dataset (without
+/// replacement). This is how the paper varies cardinality in Figure 7.
+///
+/// # Panics
+/// Panics unless `0 < rate <= 1`.
+pub fn sample_rate(data: &Dataset, rate: f64, seed: u64) -> Dataset {
+    assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0, 1], got {rate}");
+    if (rate - 1.0).abs() < f64::EPSILON {
+        return data.clone();
+    }
+    let keep = ((data.len() as f64) * rate).round() as usize;
+    let mut ids: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(keep);
+    ids.sort_unstable();
+    data.select(&ids)
+}
+
+/// Selects the first `n` points (deterministic truncation). Handy when an
+/// experiment wants an exact cardinality rather than a rate.
+pub fn take_first(data: &Dataset, n: usize) -> Dataset {
+    let keep: Vec<usize> = (0..n.min(data.len())).collect();
+    data.select(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    #[test]
+    fn add_noise_appends_expected_count() {
+        let base = uniform(1000, 2, 100.0, 1);
+        let noisy = add_noise(&base, 0.16, 2);
+        assert_eq!(noisy.len(), 1160);
+        // The original points are untouched and keep their ids.
+        for id in 0..base.len() {
+            assert_eq!(noisy.point(id), base.point(id));
+        }
+    }
+
+    #[test]
+    fn add_noise_zero_rate_is_identity_in_content() {
+        let base = uniform(100, 3, 10.0, 4);
+        let noisy = add_noise(&base, 0.0, 9);
+        assert_eq!(noisy, base);
+    }
+
+    #[test]
+    fn noise_points_stay_inside_bounding_box() {
+        let base = uniform(500, 2, 50.0, 5);
+        let rect = base.bounding_rect().unwrap();
+        let noisy = add_noise(&base, 0.5, 6);
+        for id in base.len()..noisy.len() {
+            assert!(rect.contains(noisy.point(id)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise rate")]
+    fn add_noise_rejects_negative_rate() {
+        let base = uniform(10, 2, 1.0, 0);
+        let _ = add_noise(&base, -0.1, 0);
+    }
+
+    #[test]
+    fn sample_rate_keeps_requested_fraction() {
+        let base = uniform(2000, 2, 10.0, 7);
+        let half = sample_rate(&base, 0.5, 3);
+        assert_eq!(half.len(), 1000);
+        assert_eq!(half.dim(), 2);
+        let full = sample_rate(&base, 1.0, 3);
+        assert_eq!(full, base);
+    }
+
+    #[test]
+    fn sample_rate_is_without_replacement() {
+        // Every sampled row must exist in the base dataset; with distinct base
+        // rows, sampled rows must also be distinct.
+        let base = uniform(300, 2, 1000.0, 13);
+        let sampled = sample_rate(&base, 0.3, 5);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in sampled.iter() {
+            let key = format!("{:?}", p);
+            assert!(seen.insert(key), "duplicate sampled point");
+            assert!(base.iter().any(|(_, q)| q == p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn sample_rate_rejects_zero() {
+        let base = uniform(10, 2, 1.0, 0);
+        let _ = sample_rate(&base, 0.0, 0);
+    }
+
+    #[test]
+    fn take_first_truncates() {
+        let base = uniform(50, 2, 1.0, 2);
+        assert_eq!(take_first(&base, 10).len(), 10);
+        assert_eq!(take_first(&base, 500).len(), 50);
+        assert_eq!(take_first(&base, 10).point(3), base.point(3));
+    }
+}

@@ -1,0 +1,41 @@
+//! Small formatting helpers shared by the benchmark harness binaries.
+
+/// Formats a duration in seconds the way the paper's tables do: seconds with
+/// two or three significant decimals, switching to milliseconds below 0.1 s.
+pub fn format_duration(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "n/a".to_string();
+    }
+    if secs < 0.1 {
+        format!("{:.1} ms", secs * 1000.0)
+    } else if secs < 100.0 {
+        format!("{secs:.3} s")
+    } else {
+        format!("{secs:.1} s")
+    }
+}
+
+/// Converts a byte count to mebibytes (the unit of the paper's Table 7).
+pub fn mebibytes(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(format_duration(0.0123), "12.3 ms");
+        assert_eq!(format_duration(1.5), "1.500 s");
+        assert_eq!(format_duration(250.0), "250.0 s");
+        assert_eq!(format_duration(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn mebibyte_conversion() {
+        assert_eq!(mebibytes(1024 * 1024), 1.0);
+        assert_eq!(mebibytes(0), 0.0);
+        assert!((mebibytes(1536 * 1024) - 1.5).abs() < 1e-12);
+    }
+}

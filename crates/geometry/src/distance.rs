@@ -1,0 +1,146 @@
+//! Euclidean distance kernels.
+//!
+//! Local-density computation (Definition 1 of the paper) compares distances
+//! against the cutoff `d_cut`; every comparison can be done on squared
+//! distances, avoiding the square root on the innermost loop. Both forms are
+//! provided and the rest of the workspace consistently uses [`dist_sq`] inside
+//! hot loops and [`dist`] only where an actual distance value is reported.
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths; in release
+/// builds the shorter length is used, which would be a logic error upstream, so
+/// callers must only pass same-dimensional slices.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let diff = x - y;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// Squared distance from a coordinate slice to an axis-aligned rectangle given
+/// by per-dimension `(min, max)` bounds. Returns `0.0` when the point lies
+/// inside the rectangle.
+///
+/// This is the pruning predicate used by the kd-tree and R-tree: a subtree can
+/// be skipped when `min_dist_sq_to_rect(query, lo, hi) > radius²`.
+#[inline]
+pub fn min_dist_sq_to_rect(p: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), lo.len());
+    debug_assert_eq!(p.len(), hi.len());
+    let mut acc = 0.0;
+    for i in 0..p.len() {
+        let v = p[i];
+        let d = if v < lo[i] {
+            lo[i] - v
+        } else if v > hi[i] {
+            v - hi[i]
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+/// Squared distance from a coordinate slice to the farthest corner of an
+/// axis-aligned rectangle. Useful for "the whole rectangle is within the query
+/// ball" tests, which let range counting add an entire subtree without visiting
+/// its leaves.
+#[inline]
+pub fn max_dist_sq_to_rect(p: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), lo.len());
+    debug_assert_eq!(p.len(), hi.len());
+    let mut acc = 0.0;
+    for i in 0..p.len() {
+        let d = (p[i] - lo[i]).abs().max((p[i] - hi[i]).abs());
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = [1.5, -2.0, 7.25];
+        assert_eq!(dist(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-4.0, 0.5, 9.0];
+        assert_eq!(dist_sq(&a, &b), dist_sq(&b, &a));
+    }
+
+    #[test]
+    fn min_dist_inside_rect_is_zero() {
+        let lo = [0.0, 0.0];
+        let hi = [10.0, 10.0];
+        assert_eq!(min_dist_sq_to_rect(&[5.0, 5.0], &lo, &hi), 0.0);
+        assert_eq!(min_dist_sq_to_rect(&[0.0, 10.0], &lo, &hi), 0.0);
+    }
+
+    #[test]
+    fn min_dist_outside_rect() {
+        let lo = [0.0, 0.0];
+        let hi = [10.0, 10.0];
+        // 3 units left, 4 units above the rectangle.
+        assert_eq!(min_dist_sq_to_rect(&[-3.0, 14.0], &lo, &hi), 25.0);
+    }
+
+    #[test]
+    fn max_dist_reaches_far_corner() {
+        let lo = [0.0, 0.0];
+        let hi = [10.0, 10.0];
+        // From the origin corner, the farthest corner is (10, 10).
+        assert_eq!(max_dist_sq_to_rect(&[0.0, 0.0], &lo, &hi), 200.0);
+        // From the centre the farthest corner is 5,5 away in each axis.
+        assert_eq!(max_dist_sq_to_rect(&[5.0, 5.0], &lo, &hi), 50.0);
+    }
+
+    #[test]
+    fn min_le_max_dist() {
+        let lo = [-1.0, -1.0, -1.0];
+        let hi = [1.0, 2.0, 3.0];
+        let q = [5.0, -3.0, 0.5];
+        assert!(min_dist_sq_to_rect(&q, &lo, &hi) <= max_dist_sq_to_rect(&q, &lo, &hi));
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        let pts = [
+            vec![0.0, 0.0],
+            vec![1.0, 3.0],
+            vec![-2.5, 4.0],
+            vec![7.0, -1.0],
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    assert!(dist(a, c) <= dist(a, b) + dist(b, c) + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Geometric primitives shared by every crate in the `fast-dpc` workspace.
+//!
+//! Density-Peaks Clustering operates on a set of `n` points in a low-dimensional
+//! Euclidean space. This crate provides the point representation, distance
+//! computations, axis-aligned rectangles (used by the kd-tree and R-tree), and a
+//! small dataset container with the bookkeeping that the clustering algorithms
+//! need (per-dimension domain, cardinality, dimensionality).
+//!
+//! The representation is deliberately simple: a [`Point`] is a boxed slice of
+//! `f64` coordinates. The paper assumes low dimensionality (2–8 in the
+//! evaluation), so a flat `Vec<f64>`-backed dataset with row-major layout keeps
+//! cache behaviour predictable without introducing const-generic dimensions into
+//! every public signature.
+
+pub mod dataset;
+pub mod distance;
+pub mod point;
+pub mod rect;
+
+pub use dataset::Dataset;
+pub use distance::{dist, dist_sq};
+pub use point::Point;
+pub use rect::Rect;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_are_usable() {
+        let a = Point::new(vec![0.0, 0.0]);
+        let b = Point::new(vec![3.0, 4.0]);
+        assert_eq!(dist(a.coords(), b.coords()), 5.0);
+        let r = Rect::from_points(&[a.clone(), b.clone()]);
+        assert!(r.contains(a.coords()));
+        assert!(r.contains(b.coords()));
+    }
+}

@@ -1,0 +1,131 @@
+//! A multi-dimensional point.
+
+use std::fmt;
+
+/// A point in `d`-dimensional Euclidean space.
+///
+/// Coordinates are stored in a boxed slice so that a `Point` is two words on the
+/// stack and cannot silently over-allocate. Most hot paths inside the workspace
+/// operate on `&[f64]` slices borrowed from a [`crate::Dataset`] instead of on
+/// `Point` values; `Point` is the convenient owned form used at API boundaries
+/// (building datasets, returning representative points, tests).
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords` is empty: a zero-dimensional point is never meaningful
+    /// for clustering and always indicates a caller bug.
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(!coords.is_empty(), "a Point must have at least one dimension");
+        Self { coords: coords.into_boxed_slice() }
+    }
+
+    /// Creates a 2-dimensional point. Convenience constructor used heavily in
+    /// examples and tests.
+    pub fn new2(x: f64, y: f64) -> Self {
+        Self::new(vec![x, y])
+    }
+
+    /// The dimensionality of the point.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Borrows the coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Returns the coordinate along dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= self.dim()`.
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// Consumes the point and returns its coordinates.
+    pub fn into_coords(self) -> Vec<f64> {
+        self.coords.into_vec()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(coords: &[f64]) -> Self {
+        Self::new(coords.to_vec())
+    }
+}
+
+impl std::ops::Index<usize> for Point {
+    type Output = f64;
+
+    fn index(&self, axis: usize) -> &f64 {
+        &self.coords[axis]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let p = Point::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p[2], 3.0);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.clone().into_coords(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn new2_builds_two_dimensional_point() {
+        let p = Point::new2(4.0, -1.5);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.coords(), &[4.0, -1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_point_panics() {
+        let _ = Point::new(vec![]);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = vec![0.5, 0.25].into();
+        assert_eq!(p.dim(), 2);
+        let q: Point = p.coords().into();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn debug_formatting_lists_coordinates() {
+        let p = Point::new2(1.0, 2.0);
+        assert_eq!(format!("{p:?}"), "Point(1, 2)");
+    }
+}

@@ -1,0 +1,267 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+
+use crate::distance::{max_dist_sq_to_rect, min_dist_sq_to_rect};
+use crate::point::Point;
+
+/// An axis-aligned rectangle in `d` dimensions, stored as per-dimension
+/// `(lo, hi)` bounds.
+///
+/// Used as the bounding volume of kd-tree subtrees and R-tree nodes, and as the
+/// cell extent of the uniform grids built by Approx-DPC / S-Approx-DPC.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rect {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Rect {
+    /// Creates a rectangle from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if the bounds have different lengths, are empty, or if any
+    /// `lo[i] > hi[i]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi dimensionality mismatch");
+        assert!(!lo.is_empty(), "a Rect must have at least one dimension");
+        for i in 0..lo.len() {
+            assert!(lo[i] <= hi[i], "lo[{i}] > hi[{i}] ({} > {})", lo[i], hi[i]);
+        }
+        Self { lo: lo.into_boxed_slice(), hi: hi.into_boxed_slice() }
+    }
+
+    /// The degenerate rectangle covering a single coordinate.
+    pub fn from_coords(coords: &[f64]) -> Self {
+        Self::new(coords.to_vec(), coords.to_vec())
+    }
+
+    /// The minimum bounding rectangle of a non-empty point set.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn from_points(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "cannot bound an empty point set");
+        let dim = points[0].dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in points {
+            for (i, &c) in p.coords().iter().enumerate() {
+                if c < lo[i] {
+                    lo[i] = c;
+                }
+                if c > hi[i] {
+                    hi[i] = c;
+                }
+            }
+        }
+        Self::new(lo, hi)
+    }
+
+    /// The minimum bounding rectangle of a set of coordinate rows.
+    ///
+    /// # Panics
+    /// Panics if the iterator yields no rows.
+    pub fn from_rows<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = rows.into_iter();
+        let first = iter.next().expect("cannot bound an empty row set");
+        let mut lo = first.to_vec();
+        let mut hi = first.to_vec();
+        for row in iter {
+            for i in 0..lo.len() {
+                if row[i] < lo[i] {
+                    lo[i] = row[i];
+                }
+                if row[i] > hi[i] {
+                    hi[i] = row[i];
+                }
+            }
+        }
+        Self::new(lo, hi)
+    }
+
+    /// Lower bounds, one per dimension.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds, one per dimension.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Dimensionality of the rectangle.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// The centre coordinate of the rectangle.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo.iter().zip(self.hi.iter()).map(|(a, b)| 0.5 * (a + b)).collect()
+    }
+
+    /// Side length along dimension `axis`.
+    pub fn extent(&self, axis: usize) -> f64 {
+        self.hi[axis] - self.lo[axis]
+    }
+
+    /// The (hyper-)volume, i.e. the product of side lengths.
+    pub fn volume(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(a, b)| b - a).product()
+    }
+
+    /// The margin (sum of side lengths), used by R-tree split heuristics.
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(a, b)| b - a).sum()
+    }
+
+    /// Whether the rectangle contains the coordinate (closed on all faces).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(&c, (&lo, &hi))| c >= lo && c <= hi)
+    }
+
+    /// Whether two rectangles intersect (closed).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        for i in 0..self.dim() {
+            if self.hi[i] < other.lo[i] || other.hi[i] < self.lo[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the open ball `B(center, radius)` intersects the rectangle.
+    pub fn intersects_ball(&self, center: &[f64], radius: f64) -> bool {
+        min_dist_sq_to_rect(center, &self.lo, &self.hi) < radius * radius
+    }
+
+    /// Whether the rectangle is entirely inside the open ball `B(center, radius)`.
+    pub fn inside_ball(&self, center: &[f64], radius: f64) -> bool {
+        max_dist_sq_to_rect(center, &self.lo, &self.hi) < radius * radius
+    }
+
+    /// The smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim());
+        let lo = self
+            .lo
+            .iter()
+            .zip(other.lo.iter())
+            .map(|(a, b)| a.min(*b))
+            .collect::<Vec<_>>();
+        let hi = self
+            .hi
+            .iter()
+            .zip(other.hi.iter())
+            .map(|(a, b)| a.max(*b))
+            .collect::<Vec<_>>();
+        Rect::new(lo, hi)
+    }
+
+    /// Grows the rectangle in place so that it covers `p`.
+    pub fn expand_to(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for i in 0..p.len() {
+            if p[i] < self.lo[i] {
+                self.lo[i] = p[i];
+            }
+            if p[i] > self.hi[i] {
+                self.hi[i] = p[i];
+            }
+        }
+    }
+
+    /// The increase in volume that would result from expanding to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let r = Rect::new(vec![0.0, -1.0], vec![2.0, 3.0]);
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.center(), vec![1.0, 1.0]);
+        assert_eq!(r.extent(0), 2.0);
+        assert_eq!(r.extent(1), 4.0);
+        assert_eq!(r.volume(), 8.0);
+        assert_eq!(r.margin(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo[0] > hi[0]")]
+    fn inverted_bounds_panic() {
+        let _ = Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let r = unit();
+        assert!(r.contains(&[0.0, 0.0]));
+        assert!(r.contains(&[1.0, 1.0]));
+        assert!(r.contains(&[0.5, 0.5]));
+        assert!(!r.contains(&[1.0001, 0.5]));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = unit();
+        let b = Rect::new(vec![0.5, 0.5], vec![2.0, 2.0]);
+        let c = Rect::new(vec![2.0, 2.0], vec![3.0, 3.0]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching rectangles intersect (closed semantics).
+        let d = Rect::new(vec![1.0, 0.0], vec![2.0, 1.0]);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn ball_tests() {
+        let r = unit();
+        assert!(r.intersects_ball(&[0.5, 0.5], 0.1));
+        assert!(r.intersects_ball(&[2.0, 0.5], 1.1));
+        assert!(!r.intersects_ball(&[2.0, 0.5], 1.0)); // open ball, touching is outside
+        assert!(r.inside_ball(&[0.5, 0.5], 1.0));
+        assert!(!r.inside_ball(&[0.5, 0.5], 0.7));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = unit();
+        let b = Rect::new(vec![2.0, 2.0], vec![3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(vec![0.0, 0.0], vec![3.0, 3.0]));
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+    }
+
+    #[test]
+    fn from_points_and_expand() {
+        let pts = vec![Point::new2(1.0, 5.0), Point::new2(-2.0, 0.0), Point::new2(4.0, 2.0)];
+        let r = Rect::from_points(&pts);
+        assert_eq!(r, Rect::new(vec![-2.0, 0.0], vec![4.0, 5.0]));
+        let mut r2 = Rect::from_coords(&[0.0, 0.0]);
+        r2.expand_to(&[3.0, -1.0]);
+        assert_eq!(r2, Rect::new(vec![0.0, -1.0], vec![3.0, 0.0]));
+    }
+
+    #[test]
+    fn from_rows_matches_from_points() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 5.0], vec![-2.0, 0.0], vec![4.0, 2.0]];
+        let r = Rect::from_rows(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(r, Rect::new(vec![-2.0, 0.0], vec![4.0, 5.0]));
+    }
+}

@@ -1,0 +1,341 @@
+//! The uniform grid used by Approx-DPC and S-Approx-DPC.
+//!
+//! Cells are `d`-dimensional squares with a caller-chosen side length
+//! (`d_cut/√d` for Approx-DPC, `ε·d_cut/√d` for S-Approx-DPC, §4.1/§5). The grid
+//! is built online: a cell exists only if at least one point falls inside it, so
+//! the number of cells is at most `n` and the space stays `O(n)`.
+//!
+//! The grid stores the point membership of every cell and the reverse mapping
+//! from point id to cell id. Algorithm-specific per-cell metadata (the maximum
+//! density point `p*(c)`, `min ρ`, the neighbour set `N(c)`) lives with the
+//! algorithms in `dpc-core`, because it depends on local densities that are only
+//! known mid-run.
+
+use std::collections::HashMap;
+
+use dpc_geometry::Dataset;
+
+/// Identifier of a grid cell (dense index, `0..grid.num_cells()`).
+pub type CellId = usize;
+
+/// Integer cell coordinates (per-dimension floor of `(x - origin) / side`).
+pub type CellKey = Box<[i64]>;
+
+#[derive(Debug)]
+struct Cell {
+    key: CellKey,
+    points: Vec<usize>,
+}
+
+/// A uniform grid over the points of a dataset.
+#[derive(Debug)]
+pub struct Grid {
+    dim: usize,
+    side: f64,
+    origin: Vec<f64>,
+    cells: Vec<Cell>,
+    by_key: HashMap<CellKey, CellId>,
+    /// `point_cell[p]` is the cell containing point `p`.
+    point_cell: Vec<CellId>,
+}
+
+impl Grid {
+    /// Builds the grid for `data` with the given cell side length.
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn build(data: &Dataset, side: f64) -> Self {
+        assert!(side.is_finite() && side > 0.0, "cell side must be positive and finite");
+        let dim = data.dim();
+        let origin = match data.bounding_rect() {
+            Some(rect) => rect.lo().to_vec(),
+            None => vec![0.0; dim],
+        };
+        let mut grid = Self {
+            dim,
+            side,
+            origin,
+            cells: Vec::new(),
+            by_key: HashMap::new(),
+            point_cell: Vec::with_capacity(data.len()),
+        };
+        for (id, coords) in data.iter() {
+            let key = grid.key_of(coords);
+            let cell_id = match grid.by_key.get(&key) {
+                Some(&cid) => cid,
+                None => {
+                    let cid = grid.cells.len();
+                    grid.cells.push(Cell { key: key.clone(), points: Vec::new() });
+                    grid.by_key.insert(key, cid);
+                    cid
+                }
+            };
+            grid.cells[cell_id].points.push(id);
+            grid.point_cell.push(cell_id);
+        }
+        grid
+    }
+
+    /// The integer cell key of an arbitrary coordinate.
+    pub fn key_of(&self, coords: &[f64]) -> CellKey {
+        debug_assert_eq!(coords.len(), self.dim);
+        coords
+            .iter()
+            .zip(self.origin.iter())
+            .map(|(&c, &o)| ((c - o) / self.side).floor() as i64)
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    /// The cell containing an arbitrary coordinate, if such a cell exists
+    /// (i.e. if at least one dataset point shares that cell).
+    pub fn cell_at(&self, coords: &[f64]) -> Option<CellId> {
+        self.by_key.get(&self.key_of(coords)).copied()
+    }
+
+    /// The cell containing dataset point `point_id`.
+    ///
+    /// # Panics
+    /// Panics if `point_id` is out of range.
+    pub fn cell_of(&self, point_id: usize) -> CellId {
+        self.point_cell[point_id]
+    }
+
+    /// Looks up a cell id by its integer key.
+    pub fn cell_by_key(&self, key: &[i64]) -> Option<CellId> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Dimensionality of the grid.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cell side length.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Identifiers of the points covered by cell `cell` (`P(c)` in the paper).
+    pub fn points(&self, cell: CellId) -> &[usize] {
+        &self.cells[cell].points
+    }
+
+    /// Integer key of cell `cell`.
+    pub fn key(&self, cell: CellId) -> &[i64] {
+        &self.cells[cell].key
+    }
+
+    /// The centre coordinate of cell `cell` (the query point `cp_i` of the joint
+    /// range search, §4.2).
+    pub fn center(&self, cell: CellId) -> Vec<f64> {
+        self.cells[cell]
+            .key
+            .iter()
+            .zip(self.origin.iter())
+            .map(|(&k, &o)| o + (k as f64 + 0.5) * self.side)
+            .collect()
+    }
+
+    /// Iterates over all cell identifiers.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        0..self.cells.len()
+    }
+
+    /// Existing (non-empty) cells whose integer key differs from `cell`'s key by
+    /// at most `chebyshev` in every dimension, excluding `cell` itself.
+    ///
+    /// With side `d_cut/√d`, every point within `d_cut` of a point in `cell`
+    /// lies in a cell within Chebyshev distance `⌈√d⌉` — a constant for fixed
+    /// `d`, which is what makes `|N(c)| = O(1)` in the paper's analysis.
+    pub fn neighbors_within(&self, cell: CellId, chebyshev: i64) -> Vec<CellId> {
+        let key = &self.cells[cell].key;
+        let mut out = Vec::new();
+        let mut offset = vec![-chebyshev; self.dim];
+        let mut probe: Vec<i64> = vec![0; self.dim];
+        loop {
+            let mut all_zero = true;
+            for i in 0..self.dim {
+                probe[i] = key[i] + offset[i];
+                if offset[i] != 0 {
+                    all_zero = false;
+                }
+            }
+            if !all_zero {
+                if let Some(&cid) = self.by_key.get(probe.as_slice()) {
+                    out.push(cid);
+                }
+            }
+            // Advance the mixed-radix counter over offsets.
+            let mut axis = 0;
+            loop {
+                if axis == self.dim {
+                    return out;
+                }
+                offset[axis] += 1;
+                if offset[axis] <= chebyshev {
+                    break;
+                }
+                offset[axis] = -chebyshev;
+                axis += 1;
+            }
+        }
+    }
+
+    /// Approximate heap memory used by the grid, in bytes.
+    pub fn mem_usage(&self) -> usize {
+        let mut bytes = self.cells.capacity() * std::mem::size_of::<Cell>()
+            + self.point_cell.capacity() * std::mem::size_of::<CellId>()
+            + self.by_key.capacity()
+                * (std::mem::size_of::<CellKey>() + std::mem::size_of::<CellId>());
+        for cell in &self.cells {
+            bytes += cell.points.capacity() * std::mem::size_of::<usize>()
+                + cell.key.len() * std::mem::size_of::<i64>() * 2;
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn square_dataset() -> Dataset {
+        // Nine points on a 3×3 lattice with spacing 10.
+        let mut ds = Dataset::new(2);
+        for x in 0..3 {
+            for y in 0..3 {
+                ds.push(&[x as f64 * 10.0, y as f64 * 10.0]);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn every_point_is_assigned_to_exactly_one_cell() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 10.0);
+        let total: usize = grid.cell_ids().map(|c| grid.points(c).len()).sum();
+        assert_eq!(total, ds.len());
+        for id in 0..ds.len() {
+            let cell = grid.cell_of(id);
+            assert!(grid.points(cell).contains(&id));
+        }
+    }
+
+    #[test]
+    fn no_empty_cells_are_created() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 1.0);
+        for c in grid.cell_ids() {
+            assert!(!grid.points(c).is_empty());
+        }
+        // Points are 10 apart and cells are 1 wide: every point gets its own cell.
+        assert_eq!(grid.num_cells(), ds.len());
+    }
+
+    #[test]
+    fn large_cells_merge_points() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 100.0);
+        assert_eq!(grid.num_cells(), 1);
+        assert_eq!(grid.points(0).len(), 9);
+    }
+
+    #[test]
+    fn cell_at_and_key_round_trip() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 10.0);
+        for (id, coords) in ds.iter() {
+            assert_eq!(grid.cell_at(coords), Some(grid.cell_of(id)));
+            let key = grid.key_of(coords).to_vec();
+            assert_eq!(grid.cell_by_key(&key), Some(grid.cell_of(id)));
+        }
+        assert_eq!(grid.cell_at(&[-500.0, -500.0]), None);
+    }
+
+    #[test]
+    fn center_lies_inside_cell() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 7.0);
+        for c in grid.cell_ids() {
+            let center = grid.center(c);
+            assert_eq!(grid.key_of(&center).as_ref(), grid.key(c));
+        }
+    }
+
+    #[test]
+    fn points_in_same_cell_are_within_side_times_sqrt_d() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut ds = Dataset::new(3);
+        for _ in 0..500 {
+            ds.push(&[
+                rng.gen_range(0.0..50.0),
+                rng.gen_range(0.0..50.0),
+                rng.gen_range(0.0..50.0),
+            ]);
+        }
+        let side = 4.0;
+        let grid = Grid::build(&ds, side);
+        let max_dist = side * (3.0f64).sqrt() + 1e-9;
+        for c in grid.cell_ids() {
+            let pts = grid.points(c);
+            for &a in pts {
+                for &b in pts {
+                    assert!(dpc_geometry::dist(ds.point(a), ds.point(b)) <= max_dist);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_within_finds_adjacent_cells() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 10.0);
+        // The centre point (10,10) has all 8 surrounding lattice cells occupied.
+        let centre_cell = grid.cell_at(&[10.0, 10.0]).unwrap();
+        let n1 = grid.neighbors_within(centre_cell, 1);
+        assert_eq!(n1.len(), 8);
+        assert!(!n1.contains(&centre_cell));
+        // A corner cell has only 3 occupied neighbours.
+        let corner = grid.cell_at(&[0.0, 0.0]).unwrap();
+        assert_eq!(grid.neighbors_within(corner, 1).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_within_larger_radius() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 10.0);
+        let corner = grid.cell_at(&[0.0, 0.0]).unwrap();
+        assert_eq!(grid.neighbors_within(corner, 2).len(), 8);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_grid() {
+        let ds = Dataset::new(2);
+        let grid = Grid::build(&ds, 5.0);
+        assert_eq!(grid.num_cells(), 0);
+        assert_eq!(grid.cell_at(&[1.0, 1.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side must be positive")]
+    fn zero_side_panics() {
+        let ds = square_dataset();
+        let _ = Grid::build(&ds, 0.0);
+    }
+
+    #[test]
+    fn mem_usage_reported() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 10.0);
+        assert!(grid.mem_usage() > 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Spatial indexes used by the fast-dpc algorithms.
+//!
+//! * [`KdTree`] — the workhorse of Ex-DPC / Approx-DPC / S-Approx-DPC. Supports
+//!   bulk construction (median splits), **incremental insertion** (Ex-DPC builds
+//!   the optimal tree for dependent-point retrieval one point at a time), range
+//!   counting/search with radius `d_cut`, and nearest-neighbour search.
+//! * [`RTree`] — an STR bulk-loaded R-tree used by the `R-tree + Scan` baseline
+//!   of the paper's evaluation (Table 6).
+//! * [`Grid`] — the uniform grid with cell side `d_cut/√d` (Approx-DPC) or
+//!   `ε·d_cut/√d` (S-Approx-DPC). Cells are created online, only for occupied
+//!   regions, exactly as §4.1 describes.
+
+pub mod grid;
+pub mod kdtree;
+pub mod rtree;
+
+pub use grid::{CellId, Grid};
+pub use kdtree::KdTree;
+pub use rtree::RTree;

@@ -1,0 +1,311 @@
+//! A bulk-loaded R-tree.
+//!
+//! The paper's evaluation includes an `R-tree + Scan` baseline whose local
+//! density phase runs one range count per point on an in-memory R-tree
+//! (Table 6, "R-tree + Scan"). This module provides that substrate: a
+//! Sort-Tile-Recursive (STR) bulk-loaded R-tree with range counting and range
+//! search. STR packing produces well-shaped leaves for static point sets, which
+//! is exactly the workload here (the index is built once per run).
+
+use dpc_geometry::distance::dist_sq;
+use dpc_geometry::{Dataset, Rect};
+
+/// Maximum number of entries per node (leaf and internal).
+const NODE_CAPACITY: usize = 32;
+
+#[derive(Debug)]
+enum NodeKind {
+    /// Point identifiers stored in this leaf.
+    Leaf(Vec<u32>),
+    /// Child node indices.
+    Internal(Vec<u32>),
+}
+
+#[derive(Debug)]
+struct Node {
+    mbr: Rect,
+    /// Number of points in the subtree rooted here (used to add whole subtrees
+    /// during range counting when the MBR is entirely inside the query ball).
+    count: usize,
+    kind: NodeKind,
+}
+
+/// A static R-tree over the points of a borrowed [`Dataset`].
+pub struct RTree<'a> {
+    data: &'a Dataset,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl<'a> RTree<'a> {
+    /// Bulk-loads the tree with Sort-Tile-Recursive packing.
+    pub fn build(data: &'a Dataset) -> Self {
+        let mut tree = Self { data, nodes: Vec::new(), root: None };
+        if data.is_empty() {
+            return tree;
+        }
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let leaves = tree.pack_leaves(ids);
+        tree.root = Some(tree.build_upper_levels(leaves));
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.root.map_or(0, |r| self.nodes[r as usize].count)
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    fn pack_leaves(&mut self, mut ids: Vec<u32>) -> Vec<u32> {
+        let dim = self.data.dim();
+        let n = ids.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        // STR: sort by the first axis, cut into vertical slabs, sort each slab by
+        // the second axis, and so on. For d > 2 we apply the classic recursive
+        // slab refinement across the first two axes, which is sufficient for the
+        // low dimensionalities used by the paper.
+        ids.sort_unstable_by(|&a, &b| {
+            let pa = self.data.point(a as usize)[0];
+            let pb = self.data.point(b as usize)[0];
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slab_count.max(1)).max(1);
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for slab in ids.chunks_mut(slab_size) {
+            if dim > 1 {
+                slab.sort_unstable_by(|&a, &b| {
+                    let pa = self.data.point(a as usize)[1];
+                    let pb = self.data.point(b as usize)[1];
+                    pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+            for chunk in slab.chunks(NODE_CAPACITY) {
+                let mbr = Rect::from_rows(chunk.iter().map(|&id| self.data.point(id as usize)));
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    mbr,
+                    count: chunk.len(),
+                    kind: NodeKind::Leaf(chunk.to_vec()),
+                });
+                leaves.push(idx);
+            }
+        }
+        leaves
+    }
+
+    fn build_upper_levels(&mut self, mut level: Vec<u32>) -> u32 {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            // Children produced by STR packing are already roughly sorted along
+            // the first axis; keep that order when grouping parents.
+            for group in level.chunks(NODE_CAPACITY) {
+                let mut mbr = self.nodes[group[0] as usize].mbr.clone();
+                let mut count = 0usize;
+                for &child in group {
+                    mbr = mbr.union(&self.nodes[child as usize].mbr);
+                    count += self.nodes[child as usize].count;
+                }
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node { mbr, count, kind: NodeKind::Internal(group.to_vec()) });
+                next.push(idx);
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Counts points with distance strictly less than `radius` from `query`,
+    /// excluding the point with identifier `exclude` (if any).
+    pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
+        let Some(root) = self.root else { return 0 };
+        if radius <= 0.0 {
+            return 0;
+        }
+        let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
+        let mut count = 0usize;
+        self.count_rec(root, query, radius, radius * radius, excl, &mut count);
+        count
+    }
+
+    fn count_rec(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        radius: f64,
+        r_sq: f64,
+        exclude: u32,
+        count: &mut usize,
+    ) {
+        let node = &self.nodes[node_idx as usize];
+        if !node.mbr.intersects_ball(query, radius) {
+            return;
+        }
+        if node.mbr.inside_ball(query, radius) {
+            *count += node.count;
+            // The excluded point is inside this subtree iff its coordinates are
+            // inside the MBR; since the whole MBR is inside the ball we may have
+            // over-counted it by one. Correct for it.
+            if exclude != u32::MAX && node.mbr.contains(self.data.point(exclude as usize)) {
+                // We can only be sure the excluded point is in this subtree if we
+                // check membership; fall through to exact handling instead.
+                *count -= node.count;
+            } else {
+                return;
+            }
+        }
+        match &node.kind {
+            NodeKind::Leaf(ids) => {
+                for &id in ids {
+                    if id != exclude && dist_sq(query, self.data.point(id as usize)) < r_sq {
+                        *count += 1;
+                    }
+                }
+            }
+            NodeKind::Internal(children) => {
+                for &child in children {
+                    self.count_rec(child, query, radius, r_sq, exclude, count);
+                }
+            }
+        }
+    }
+
+    /// Collects identifiers of points with distance strictly less than `radius`
+    /// from `query`.
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        if radius <= 0.0 {
+            return out;
+        }
+        self.search_rec(root, query, radius, radius * radius, &mut out);
+        out
+    }
+
+    fn search_rec(&self, node_idx: u32, query: &[f64], radius: f64, r_sq: f64, out: &mut Vec<usize>) {
+        let node = &self.nodes[node_idx as usize];
+        if !node.mbr.intersects_ball(query, radius) {
+            return;
+        }
+        match &node.kind {
+            NodeKind::Leaf(ids) => {
+                for &id in ids {
+                    if dist_sq(query, self.data.point(id as usize)) < r_sq {
+                        out.push(id as usize);
+                    }
+                }
+            }
+            NodeKind::Internal(children) => {
+                for &child in children {
+                    self.search_rec(child, query, radius, r_sq, out);
+                }
+            }
+        }
+    }
+
+    /// Approximate heap memory used by the index, in bytes.
+    pub fn mem_usage(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for node in &self.nodes {
+            bytes += match &node.kind {
+                NodeKind::Leaf(ids) => ids.capacity() * std::mem::size_of::<u32>(),
+                NodeKind::Internal(children) => children.capacity() * std::mem::size_of::<u32>(),
+            };
+            bytes += node.mbr.dim() * 2 * std::mem::size_of::<f64>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_geometry::dist;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(0.0..100.0)).collect();
+        Dataset::from_flat(dim, coords)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let ds = Dataset::new(2);
+        let tree = RTree::build(&ds);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.range_count(&[0.0, 0.0], 5.0, None), 0);
+        assert!(tree.range_search(&[0.0, 0.0], 5.0).is_empty());
+    }
+
+    #[test]
+    fn len_counts_all_points() {
+        let ds = random_dataset(1000, 3, 4);
+        let tree = RTree::build(&ds);
+        assert_eq!(tree.len(), 1000);
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        for dim in [2usize, 4] {
+            let ds = random_dataset(500, dim, 21 + dim as u64);
+            let tree = RTree::build(&ds);
+            let mut rng = StdRng::seed_from_u64(8);
+            for _ in 0..40 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect();
+                let r = rng.gen_range(1.0..60.0);
+                let want = ds.iter().filter(|(_, p)| dist(&q, p) < r).count();
+                assert_eq!(tree.range_count(&q, r, None), want);
+            }
+        }
+    }
+
+    #[test]
+    fn range_count_with_exclusion() {
+        let ds = random_dataset(300, 2, 77);
+        let tree = RTree::build(&ds);
+        for id in (0..300).step_by(37) {
+            let q = ds.point(id).to_vec();
+            let want = ds.iter().filter(|(j, p)| *j != id && dist(&q, p) < 20.0).count();
+            assert_eq!(tree.range_count(&q, 20.0, Some(id)), want);
+        }
+    }
+
+    #[test]
+    fn range_search_matches_brute_force() {
+        let ds = random_dataset(400, 3, 66);
+        let tree = RTree::build(&ds);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..25 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let r = rng.gen_range(10.0..50.0);
+            let mut got = tree.range_search(&q, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> =
+                ds.iter().filter(|(_, p)| dist(&q, p) < r).map(|(id, _)| id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn large_radius_counts_everything() {
+        let ds = random_dataset(256, 2, 10);
+        let tree = RTree::build(&ds);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, None), 256);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, Some(3)), 255);
+    }
+
+    #[test]
+    fn mem_usage_reported() {
+        let ds = random_dataset(200, 2, 1);
+        let tree = RTree::build(&ds);
+        assert!(tree.mem_usage() > 0);
+    }
+}

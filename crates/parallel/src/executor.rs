@@ -1,0 +1,304 @@
+//! A lightweight scoped-thread executor.
+//!
+//! Each clustering run issues a handful of parallel regions over borrowed data,
+//! so the executor spawns scoped worker threads per region instead of keeping a
+//! long-lived pool: there is no `'static` requirement on closures, no channel
+//! plumbing, and the single-threaded configuration runs completely inline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::partition::{lpt_partition, Partition};
+
+/// How many items a worker claims per fetch in dynamic scheduling. A small
+/// chunk keeps load balance; `1` matches OpenMP's `schedule(dynamic)` default
+/// and is what the paper uses.
+const DYNAMIC_CHUNK: usize = 1;
+
+/// A parallel executor with a fixed number of worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    /// An executor using all available hardware parallelism.
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `threads` worker threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A single-threaded executor; every primitive runs inline.
+    pub fn single() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The configured number of threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` with dynamic self-scheduling: idle
+    /// workers repeatedly claim the next unprocessed index from a shared
+    /// counter. Equivalent to `#pragma omp parallel for schedule(dynamic)`.
+    pub fn for_each_dynamic<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let counter = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = counter.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + DYNAMIC_CHUNK).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` with dynamic self-scheduling and
+    /// returns the results in index order.
+    pub fn map_dynamic<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+        let counter = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = counter.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + DYNAMIC_CHUNK).min(n);
+                            for i in start..end {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                partials.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        scatter(n, partials)
+    }
+
+    /// Computes `f(i)` for every task `i`, assigning tasks to threads with the
+    /// LPT greedy over the caller-provided cost estimates (cost-based
+    /// partitioning, §4.5 of the paper). Returns results in index order together
+    /// with the partition that was used, so callers can report load-balance
+    /// statistics.
+    pub fn map_partitioned<R, F>(&self, costs: &[f64], f: F) -> (Vec<R>, Partition)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let n = costs.len();
+        let partition = lpt_partition(costs, self.threads.min(n.max(1)));
+        if n == 0 {
+            return (Vec::new(), partition);
+        }
+        if self.threads == 1 || n == 1 {
+            return ((0..n).map(f).collect(), partition);
+        }
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(partition.groups.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = partition
+                .groups
+                .iter()
+                .filter(|group| !group.is_empty())
+                .map(|group| {
+                    scope.spawn(|| {
+                        group.iter().map(|&i| (i, f(i))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                partials.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        (scatter(n, partials), partition)
+    }
+
+    /// Splits `0..n` into `threads` contiguous chunks and runs `f(chunk_range)`
+    /// on each. Useful for reductions where every item costs roughly the same
+    /// (sorting partitions, building per-subset kd-trees, ...).
+    pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        let chunk = n.div_ceil(workers);
+        if workers == 1 {
+            return vec![f(0..n)];
+        }
+        let mut out = Vec::with_capacity(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || f(start..end))
+                })
+                .collect();
+            for handle in handles {
+                out.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Reassembles per-worker `(index, value)` buffers into index order.
+fn scatter<R>(n: usize, partials: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for buf in partials {
+        for (i, value) in buf {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("index {i} was never produced")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn threads_are_clamped() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::new(4).threads(), 4);
+        assert_eq!(Executor::single().threads(), 1);
+        assert!(Executor::default().threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_dynamic_visits_every_index_once() {
+        for threads in [1usize, 2, 4] {
+            let ex = Executor::new(threads);
+            let n = 1000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ex.for_each_dynamic(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn for_each_dynamic_handles_empty_range() {
+        Executor::new(4).for_each_dynamic(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_dynamic_preserves_index_order() {
+        for threads in [1usize, 3, 8] {
+            let ex = Executor::new(threads);
+            let out = ex.map_dynamic(257, |i| i * i);
+            assert_eq!(out.len(), 257);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn map_dynamic_empty() {
+        let out: Vec<u32> = Executor::new(4).map_dynamic(0, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_partitioned_matches_sequential_results() {
+        let costs: Vec<f64> = (0..500).map(|i| ((i * 7) % 23) as f64 + 1.0).collect();
+        for threads in [1usize, 2, 4] {
+            let ex = Executor::new(threads);
+            let (out, partition) = ex.map_partitioned(&costs, |i| i as u64 + 1);
+            assert_eq!(out, (1..=500u64).collect::<Vec<_>>());
+            assert!(partition.imbalance() >= 1.0);
+            assert!(partition.bins() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn map_partitioned_empty_tasks() {
+        let ex = Executor::new(4);
+        let (out, partition) = ex.map_partitioned(&[], |_| 0u8);
+        assert!(out.is_empty());
+        assert!((partition.total_load() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_chunks_covers_range_without_overlap() {
+        for threads in [1usize, 3, 7] {
+            let ex = Executor::new(threads);
+            let ranges = ex.map_chunks(100, |r| r);
+            let mut seen = vec![false; 100];
+            for r in ranges {
+                for i in r {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |i: usize| -> f64 { (i as f64).sqrt() + (i % 17) as f64 };
+        let sequential = Executor::single().map_dynamic(2048, work);
+        for threads in [2usize, 4, 16] {
+            assert_eq!(Executor::new(threads).map_dynamic(2048, work), sequential);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Side-by-side comparison of every algorithm in the workspace on one dataset:
+//! running time, phase breakdown, clusters, and agreement with the exact
+//! result. A miniature version of the paper's evaluation you can point at your
+//! own data by changing one line.
+//!
+//! ```text
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use fast_dpc::baselines::{CfsfdpA, LshDdp, RtreeScan, Scan};
+use fast_dpc::prelude::*;
+
+fn main() {
+    // The paper's Syn workload at a laptop-friendly size. Swap in
+    // `fast_dpc::data::io::read_points("my_points.csv")` to use your own data.
+    let data = random_walk(15_000, 13, 1e5, 20_210_621);
+    let dcut = 250.0;
+    let params = DpcParams::new(dcut)
+        .with_rho_min(10.0)
+        .with_delta_min(3.0 * dcut)
+        .with_threads(4);
+
+    let exact = ExDpc::new(params).run(&data);
+    println!(
+        "dataset: {} points, {}d | exact result: {} clusters, {} noise\n",
+        data.len(),
+        data.dim(),
+        exact.num_clusters(),
+        exact.noise_count()
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "algorithm", "rho [s]", "delta [s]", "total [s]", "clusters", "Rand index"
+    );
+
+    let algorithms: Vec<(&str, Box<dyn DpcAlgorithm>)> = vec![
+        ("Scan", Box::new(Scan::new(params))),
+        ("R-tree + Scan", Box::new(RtreeScan::new(params))),
+        ("LSH-DDP", Box::new(LshDdp::new(params))),
+        ("CFSFDP-A", Box::new(CfsfdpA::new(params))),
+        ("Ex-DPC", Box::new(ExDpc::new(params))),
+        ("Approx-DPC", Box::new(ApproxDpc::new(params))),
+        ("S-Approx-DPC", Box::new(SApproxDpc::new(params).with_epsilon(0.8))),
+    ];
+
+    for (name, algo) in algorithms {
+        let clustering = algo.run(&data);
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>12.4}",
+            name,
+            clustering.timings.rho_secs,
+            clustering.timings.delta_secs,
+            clustering.timings.total_secs(),
+            clustering.num_clusters(),
+            rand_index(clustering.labels(), exact.labels())
+        );
+    }
+
+    println!(
+        "\nReading guide: Ex-DPC/Approx-DPC/S-Approx-DPC should be far faster than the \
+         baselines, Approx-DPC should score a Rand index of ~1.0, and S-Approx-DPC should be \
+         the fastest overall."
+    );
+}

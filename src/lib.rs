@@ -1,0 +1,46 @@
+//! # fast-dpc
+//!
+//! A multicore-parallel implementation of Density-Peaks Clustering (DPC),
+//! reproducing the algorithms of *"Fast Density-Peaks Clustering:
+//! Multicore-based Parallelization Approach"* (SIGMOD 2021):
+//!
+//! * [`ExDpc`](dpc_core::ExDpc) — exact, kd-tree based, sub-quadratic.
+//! * [`ApproxDpc`](dpc_core::ApproxDpc) — grid-accelerated, same cluster
+//!   centres as the exact algorithm, fully parallel.
+//! * [`SApproxDpc`](dpc_core::SApproxDpc) — sampled cell-clustering variant with
+//!   an approximation parameter `ε`.
+//!
+//! plus the baselines the paper evaluates against (`Scan`, `R-tree + Scan`,
+//! `LSH-DDP`, `CFSFDP-A`, `DBSCAN`) and the workload generators of its
+//! evaluation section.
+//!
+//! ```
+//! use fast_dpc::prelude::*;
+//!
+//! // Three well-separated blobs.
+//! let dataset = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0), (100.0, 0.0)], 100, 2.0, 7);
+//! let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(20.0);
+//! let clustering = ApproxDpc::new(params).run(&dataset);
+//! assert_eq!(clustering.num_clusters(), 3);
+//! ```
+
+pub use dpc_baselines as baselines;
+pub use dpc_core as core;
+pub use dpc_data as data;
+pub use dpc_eval as eval;
+pub use dpc_geometry as geometry;
+pub use dpc_index as index;
+pub use dpc_parallel as parallel;
+
+/// Convenience re-exports covering the common workflow: generate or load a
+/// dataset, pick parameters, run an algorithm, evaluate the result.
+pub mod prelude {
+    pub use dpc_baselines::{CfsfdpA, Dbscan, LshDdp, RtreeScan, Scan};
+    pub use dpc_core::{
+        ApproxDpc, Assignment, Clustering, DecisionGraph, DpcAlgorithm, DpcParams, ExDpc,
+        SApproxDpc, NOISE,
+    };
+    pub use dpc_data::generators::{gaussian_blobs, random_walk, s_set};
+    pub use dpc_eval::{adjusted_rand_index, rand_index};
+    pub use dpc_geometry::{Dataset, Point};
+}

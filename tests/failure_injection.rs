@@ -1,0 +1,152 @@
+//! Failure-injection and degenerate-input tests across the public API: the
+//! library must behave predictably on empty data, single points, duplicate
+//! points, extreme parameters and pathological geometry.
+
+use fast_dpc::baselines::{CfsfdpA, Dbscan, LshDdp, RtreeScan, Scan};
+use fast_dpc::data::real::RealDataset;
+use fast_dpc::prelude::*;
+
+fn algorithms(params: DpcParams) -> Vec<Box<dyn DpcAlgorithm>> {
+    vec![
+        Box::new(Scan::new(params)),
+        Box::new(RtreeScan::new(params)),
+        Box::new(LshDdp::new(params)),
+        Box::new(CfsfdpA::new(params)),
+        Box::new(ExDpc::new(params)),
+        Box::new(ApproxDpc::new(params)),
+        Box::new(SApproxDpc::new(params).with_epsilon(0.9)),
+    ]
+}
+
+#[test]
+fn empty_dataset_yields_empty_clustering_everywhere() {
+    let params = DpcParams::new(1.0);
+    for algo in algorithms(params) {
+        let c = algo.run(&Dataset::new(2));
+        assert!(c.is_empty(), "{}", algo.name());
+        assert_eq!(c.num_clusters(), 0, "{}", algo.name());
+        assert_eq!(c.noise_count(), 0, "{}", algo.name());
+    }
+    assert!(Dbscan::new(1.0, 2).run(&Dataset::new(2)).is_empty());
+}
+
+#[test]
+fn single_point_is_its_own_cluster() {
+    let params = DpcParams::new(5.0);
+    let data = Dataset::from_flat(3, vec![1.0, 2.0, 3.0]);
+    for algo in algorithms(params) {
+        let c = algo.run(&data);
+        assert_eq!(c.len(), 1, "{}", algo.name());
+        assert_eq!(c.num_clusters(), 1, "{}", algo.name());
+        assert!(c.delta[0].is_infinite(), "{}", algo.name());
+        assert_eq!(c.assignment[0], 0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn all_identical_points_form_one_cluster() {
+    let params = DpcParams::new(0.5);
+    let data = Dataset::from_flat(2, vec![7.0; 40]);
+    for algo in algorithms(params) {
+        let c = algo.run(&data);
+        assert_eq!(c.num_clusters(), 1, "{}", algo.name());
+        assert!(c.assignment.iter().all(|&l| l == 0), "{}", algo.name());
+    }
+}
+
+#[test]
+fn collinear_points_do_not_break_the_indexes() {
+    // Degenerate geometry: all points on a line (zero extent in one dimension).
+    let mut data = Dataset::new(2);
+    for i in 0..500 {
+        data.push(&[i as f64, 42.0]);
+    }
+    let params = DpcParams::new(3.0).with_rho_min(1.0).with_delta_min(10.0);
+    let exact = ExDpc::new(params).run(&data);
+    for algo in algorithms(params) {
+        let c = algo.run(&data);
+        assert_eq!(c.len(), data.len(), "{}", algo.name());
+        // Exact algorithms must agree with Ex-DPC even here.
+        if matches!(algo.name(), "Scan" | "R-tree + Scan" | "CFSFDP-A") {
+            assert_eq!(c.assignment, exact.assignment, "{}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn huge_rho_min_marks_everything_as_noise() {
+    let data = gaussian_blobs(&[(0.0, 0.0)], 200, 2.0, 3);
+    let params = DpcParams::new(5.0).with_rho_min(1e9).with_delta_min(20.0);
+    for algo in algorithms(params) {
+        let c = algo.run(&data);
+        assert_eq!(c.num_clusters(), 0, "{}", algo.name());
+        assert_eq!(c.noise_count(), data.len(), "{}", algo.name());
+    }
+}
+
+#[test]
+fn tiny_dcut_degenerates_gracefully() {
+    // d_cut so small that every local density is zero: every point's δ is its
+    // nearest-neighbour distance and the centre threshold decides everything.
+    let data = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0)], 50, 1.0, 7);
+    let params = DpcParams::new(1e-6).with_rho_min(0.0).with_delta_min(2e-6);
+    let exact = ExDpc::new(params).run(&data);
+    let approx = ApproxDpc::new(params).run(&data);
+    assert_eq!(exact.rho, approx.rho);
+    assert!(exact.rho.iter().all(|&r| r < 1.0), "all counts must be zero");
+    assert_eq!(exact.centers, approx.centers);
+}
+
+#[test]
+fn huge_dcut_puts_everything_in_one_ball() {
+    // d_cut larger than the diameter: ρ = n − 1 for every point, one cluster.
+    let data = gaussian_blobs(&[(0.0, 0.0), (10.0, 10.0)], 100, 1.0, 9);
+    let params = DpcParams::new(1e6).with_rho_min(0.0).with_delta_min(2e6);
+    for algo in algorithms(params) {
+        let c = algo.run(&data);
+        assert_eq!(c.num_clusters(), 1, "{}", algo.name());
+        assert!(
+            c.rho.iter().all(|&r| (r - (data.len() as f64 - 1.0)).abs() < 1.0),
+            "{}: densities should all be n-1",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn extreme_epsilon_values_for_sapprox() {
+    let data = gaussian_blobs(&[(0.0, 0.0), (100.0, 100.0)], 200, 3.0, 4);
+    let params = DpcParams::new(8.0).with_rho_min(3.0).with_delta_min(40.0);
+    // Very fine grid (≈ one point per cell) and very coarse grid.
+    for eps in [0.05, 4.0] {
+        let c = SApproxDpc::new(params).with_epsilon(eps).run(&data);
+        assert_eq!(c.len(), data.len(), "eps = {eps}");
+        assert!(c.num_clusters() >= 1, "eps = {eps}");
+    }
+}
+
+#[test]
+fn high_dimensional_surrogate_still_works() {
+    // The 8-d Sensor surrogate stresses the kd-tree pruning and the grid's
+    // neighbour enumeration (3^8 probes) — make sure nothing blows up and the
+    // approximation stays close to exact.
+    let data = RealDataset::Sensor.generate_with(1_500, 6);
+    let dcut = RealDataset::Sensor.default_dcut();
+    let params = DpcParams::new(dcut).with_rho_min(3.0).with_delta_min(3.0 * dcut);
+    let exact = ExDpc::new(params).run(&data);
+    let approx = ApproxDpc::new(params).run(&data);
+    assert_eq!(exact.centers, approx.centers);
+    assert!(rand_index(approx.labels(), exact.labels()) > 0.95);
+}
+
+#[test]
+fn dbscan_degenerate_parameters() {
+    let data = gaussian_blobs(&[(0.0, 0.0)], 100, 2.0, 2);
+    // minPts = 1: every point is a core point → one cluster per connected blob.
+    let labels = Dbscan::new(5.0, 1).run(&data);
+    assert!(Dbscan::num_clusters(&labels) >= 1);
+    assert!(labels.iter().all(|&l| l >= 0));
+    // Huge minPts: everything is noise.
+    let labels = Dbscan::new(5.0, 10_000).run(&data);
+    assert!(labels.iter().all(|&l| l == -1));
+}
