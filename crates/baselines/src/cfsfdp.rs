@@ -15,13 +15,11 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::{finalize, jittered_density};
-use dpc_core::{Clustering, DpcAlgorithm, DpcParams, Timings};
+use dpc_core::framework::jittered_density;
+use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dpc_rng::StdRng;
 
 use crate::scan::Scan;
 
@@ -63,7 +61,7 @@ impl CfsfdpA {
         let dim = data.dim();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut ids: Vec<usize> = (0..n).collect();
-        ids.shuffle(&mut rng);
+        rng.shuffle(&mut ids);
         let mut centroids: Vec<Vec<f64>> =
             ids.iter().take(k).map(|&i| data.point(i).to_vec()).collect();
         let mut assignment = vec![0usize; n];
@@ -106,11 +104,12 @@ impl DpcAlgorithm for CfsfdpA {
         "CFSFDP-A"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
         let n = data.len();
         let mut timings = Timings::default();
         if n == 0 {
-            return finalize(&self.params, vec![], vec![], vec![], timings, 0);
+            return Err(DpcError::EmptyDataset);
         }
         let executor = Executor::new(self.params.threads);
         let dcut = self.params.dcut;
@@ -169,14 +168,22 @@ impl DpcAlgorithm for CfsfdpA {
         let index_bytes = pivots.len() * data.dim() * std::mem::size_of::<f64>()
             + n * std::mem::size_of::<f64>() // distances to pivots
             + n * std::mem::size_of::<usize>(); // pivot assignment
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpc_core::ExDpc;
+    use dpc_core::{ExDpc, Thresholds};
     use dpc_data::generators::{gaussian_blobs, uniform};
 
     #[test]
@@ -184,9 +191,10 @@ mod tests {
         // Despite the filtering, CFSFDP-A is an exact algorithm: same densities
         // and clusters as Ex-DPC.
         let data = uniform(400, 2, 100.0, 19);
-        let params = DpcParams::new(9.0).with_rho_min(2.0).with_delta_min(30.0);
-        let a = CfsfdpA::new(params).run(&data);
-        let b = ExDpc::new(params).run(&data);
+        let params = DpcParams::new(9.0);
+        let thresholds = Thresholds::new(2.0, 30.0).unwrap();
+        let a = CfsfdpA::new(params).run(&data, &thresholds).unwrap();
+        let b = ExDpc::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(a.rho, b.rho);
         assert_eq!(a.centers, b.centers);
         assert_eq!(a.assignment, b.assignment);
@@ -196,10 +204,10 @@ mod tests {
     fn exactness_holds_with_few_pivots_and_many_pivots() {
         let data = gaussian_blobs(&[(0.0, 0.0), (60.0, 60.0)], 150, 4.0, 2);
         let params = DpcParams::new(5.0);
-        let reference = ExDpc::new(params).run(&data);
+        let reference = ExDpc::new(params).fit(&data).unwrap();
         for pivots in [1usize, 5, 40] {
-            let c = CfsfdpA::new(params).with_pivots(pivots).run(&data);
-            assert_eq!(c.rho, reference.rho, "pivots = {pivots}");
+            let m = CfsfdpA::new(params).with_pivots(pivots).fit(&data).unwrap();
+            assert_eq!(m.rho(), reference.rho(), "pivots = {pivots}");
         }
     }
 
@@ -207,26 +215,28 @@ mod tests {
     fn parallel_matches_sequential() {
         let data = uniform(300, 3, 60.0, 27);
         let params = DpcParams::new(7.0);
-        let a = CfsfdpA::new(params.with_threads(1)).run(&data);
-        let b = CfsfdpA::new(params.with_threads(4)).run(&data);
-        assert_eq!(a.rho, b.rho);
-        assert_eq!(a.assignment, b.assignment);
+        let a = CfsfdpA::new(params.with_threads(1)).fit(&data).unwrap();
+        let b = CfsfdpA::new(params.with_threads(4)).fit(&data).unwrap();
+        assert_eq!(a.rho(), b.rho());
+        assert_eq!(a.dependent(), b.dependent());
     }
 
     #[test]
     fn clusters_blobs() {
         let data = gaussian_blobs(&[(0.0, 0.0), (120.0, 0.0)], 200, 3.0, 15);
-        let params = DpcParams::new(8.0).with_rho_min(4.0).with_delta_min(50.0);
-        let c = CfsfdpA::new(params).run(&data);
+        let params = DpcParams::new(8.0);
+        let thresholds = Thresholds::new(4.0, 50.0).unwrap();
+        let c = CfsfdpA::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 2);
     }
 
     #[test]
     fn empty_and_single_inputs() {
         let params = DpcParams::new(1.0);
-        assert!(CfsfdpA::new(params).run(&Dataset::new(2)).is_empty());
+        assert_eq!(CfsfdpA::new(params).fit(&Dataset::new(2)).unwrap_err(), DpcError::EmptyDataset);
         let single = Dataset::from_flat(2, vec![1.0, 1.0]);
-        assert_eq!(CfsfdpA::new(params).run(&single).num_clusters(), 1);
+        let c = CfsfdpA::new(params).run(&single, &Thresholds::for_dcut(1.0)).unwrap();
+        assert_eq!(c.num_clusters(), 1);
     }
 
     #[test]

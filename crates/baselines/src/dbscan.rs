@@ -69,7 +69,11 @@ impl Dbscan {
                 labels[q] = cluster;
                 let q_neighbors = tree.range_search(data.point(q), self.eps);
                 if q_neighbors.len() >= self.min_pts {
-                    stack.extend(q_neighbors.into_iter().filter(|&r| labels[r] == i64::MIN || labels[r] == DBSCAN_NOISE));
+                    stack.extend(
+                        q_neighbors
+                            .into_iter()
+                            .filter(|&r| labels[r] == i64::MIN || labels[r] == DBSCAN_NOISE),
+                    );
                 }
             }
             cluster += 1;
@@ -79,7 +83,7 @@ impl Dbscan {
 
     /// Number of clusters in a label vector produced by [`Dbscan::run`].
     pub fn num_clusters(labels: &[i64]) -> usize {
-        labels.iter().filter(|&&l| l >= 0).map(|&l| l).max().map_or(0, |m| m as usize + 1)
+        labels.iter().filter(|&&l| l >= 0).copied().max().map_or(0, |m| m as usize + 1)
     }
 }
 

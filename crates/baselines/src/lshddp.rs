@@ -22,12 +22,11 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use dpc_core::framework::{finalize, jittered_density};
-use dpc_core::{Clustering, DpcAlgorithm, DpcParams, Timings};
+use dpc_core::framework::jittered_density;
+use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dpc_rng::StdRng;
 
 /// Number of compound hash tables (`M` in the paper's Table 1). The original
 /// paper uses a small constant number of tables.
@@ -63,7 +62,7 @@ impl LshDdp {
         let mut rng = StdRng::seed_from_u64(self.lsh_seed ^ (table as u64).wrapping_mul(0x9E37));
         // Gaussian projection vectors and uniform offsets for each hash.
         let projections: Vec<Vec<f64>> = (0..HASHES_PER_TABLE)
-            .map(|_| (0..dim).map(|_| standard_normal(&mut rng)).collect())
+            .map(|_| (0..dim).map(|_| rng.gen_standard_normal()).collect())
             .collect();
         let offsets: Vec<f64> = (0..HASHES_PER_TABLE).map(|_| rng.gen_range(0.0..width)).collect();
 
@@ -83,22 +82,17 @@ impl LshDdp {
     }
 }
 
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 impl DpcAlgorithm for LshDdp {
     fn name(&self) -> &'static str {
         "LSH-DDP"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
         let n = data.len();
         let mut timings = Timings::default();
         if n == 0 {
-            return finalize(&self.params, vec![], vec![], vec![], timings, 0);
+            return Err(DpcError::EmptyDataset);
         }
         let executor = Executor::new(self.params.threads);
         let dcut = self.params.dcut;
@@ -113,27 +107,27 @@ impl DpcAlgorithm for LshDdp {
             (0..NUM_TABLES).map(|t| self.build_buckets(data, t)).collect();
         let mut index_bytes = 0usize;
         for table in &tables {
-            index_bytes += table.iter().map(|b| b.capacity() * std::mem::size_of::<usize>()).sum::<usize>();
+            index_bytes +=
+                table.iter().map(|b| b.capacity() * std::mem::size_of::<usize>()).sum::<usize>();
         }
 
         let mut counts = vec![0usize; n];
         for table in &tables {
             // Hash partitioning over buckets: no cost model, as in the original.
-            let per_bucket: Vec<Vec<(usize, usize)>> =
-                executor.map_dynamic(table.len(), |bi| {
-                    let bucket = &table[bi];
-                    bucket
-                        .iter()
-                        .map(|&i| {
-                            let pi = data.point(i);
-                            let c = bucket
-                                .iter()
-                                .filter(|&&j| j != i && dist_sq(pi, data.point(j)) < dcut_sq)
-                                .count();
-                            (i, c)
-                        })
-                        .collect()
-                });
+            let per_bucket: Vec<Vec<(usize, usize)>> = executor.map_dynamic(table.len(), |bi| {
+                let bucket = &table[bi];
+                bucket
+                    .iter()
+                    .map(|&i| {
+                        let pi = data.point(i);
+                        let c = bucket
+                            .iter()
+                            .filter(|&&j| j != i && dist_sq(pi, data.point(j)) < dcut_sq)
+                            .count();
+                        (i, c)
+                    })
+                    .collect()
+            });
             for rows in per_bucket {
                 for (i, c) in rows {
                     counts[i] = counts[i].max(c);
@@ -160,7 +154,7 @@ impl DpcAlgorithm for LshDdp {
                         for &j in bucket {
                             if rho[j] > rho[i] {
                                 let d = dist(pi, data.point(j));
-                                if best.map_or(true, |(_, bd)| d < bd) {
+                                if best.is_none_or(|(_, bd)| d < bd) {
                                     best = Some((j, d));
                                 }
                             }
@@ -191,7 +185,7 @@ impl DpcAlgorithm for LshDdp {
             for j in 0..n {
                 if rho[j] > rho[i] {
                     let d = dist(pi, data.point(j));
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((j, d));
                     }
                 }
@@ -205,25 +199,33 @@ impl DpcAlgorithm for LshDdp {
         }
         timings.delta_secs = start.elapsed().as_secs_f64();
 
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpc_core::ExDpc;
+    use dpc_core::{ExDpc, Thresholds};
     use dpc_data::generators::{gaussian_blobs, uniform};
 
     #[test]
     fn densities_never_exceed_exact_densities() {
         let data = uniform(400, 2, 100.0, 8);
         let params = DpcParams::new(10.0);
-        let lsh = LshDdp::new(params).run(&data);
-        let exact = ExDpc::new(params).run(&data);
+        let lsh = LshDdp::new(params).fit(&data).unwrap();
+        let exact = ExDpc::new(params).fit(&data).unwrap();
         for i in 0..data.len() {
             assert!(
-                lsh.rho[i] <= exact.rho[i] + 1.0,
+                lsh.rho()[i] <= exact.rho()[i] + 1.0,
                 "bucket-local density exceeds the exact density at {i}"
             );
         }
@@ -232,21 +234,22 @@ mod tests {
     #[test]
     fn dependent_points_have_higher_estimated_density() {
         let data = uniform(500, 3, 50.0, 2);
-        let c = LshDdp::new(DpcParams::new(6.0)).run(&data);
+        let m = LshDdp::new(DpcParams::new(6.0)).fit(&data).unwrap();
         for i in 0..data.len() {
-            let dep = c.dependent[i];
+            let dep = m.dependent()[i];
             if dep != i {
-                assert!(c.rho[dep] > c.rho[i]);
+                assert!(m.rho()[dep] > m.rho()[i]);
             }
         }
-        assert_eq!(c.delta.iter().filter(|d| d.is_infinite()).count(), 1);
+        assert_eq!(m.delta().iter().filter(|d| d.is_infinite()).count(), 1);
     }
 
     #[test]
     fn recovers_well_separated_blobs() {
         let data = gaussian_blobs(&[(0.0, 0.0), (150.0, 150.0), (0.0, 150.0)], 200, 4.0, 6);
-        let params = DpcParams::new(10.0).with_rho_min(4.0).with_delta_min(60.0);
-        let c = LshDdp::new(params).run(&data);
+        let params = DpcParams::new(10.0);
+        let thresholds = Thresholds::new(4.0, 60.0).unwrap();
+        let c = LshDdp::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 3);
         for blob in 0..3 {
             let labels: Vec<i64> = (blob * 200..(blob + 1) * 200)
@@ -261,25 +264,28 @@ mod tests {
     fn deterministic_given_seeds() {
         let data = uniform(300, 2, 30.0, 4);
         let params = DpcParams::new(3.0);
-        let a = LshDdp::new(params).run(&data);
-        let b = LshDdp::new(params).run(&data);
-        assert_eq!(a.rho, b.rho);
-        assert_eq!(a.assignment, b.assignment);
+        let a = LshDdp::new(params).fit(&data).unwrap();
+        let b = LshDdp::new(params).fit(&data).unwrap();
+        assert_eq!(a.rho(), b.rho());
+        assert_eq!(a.dependent(), b.dependent());
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let data = uniform(300, 2, 30.0, 4);
         let params = DpcParams::new(3.0);
-        let a = LshDdp::new(params.with_threads(1)).run(&data);
-        let b = LshDdp::new(params.with_threads(4)).run(&data);
-        assert_eq!(a.rho, b.rho);
-        assert_eq!(a.delta, b.delta);
-        assert_eq!(a.assignment, b.assignment);
+        let a = LshDdp::new(params.with_threads(1)).fit(&data).unwrap();
+        let b = LshDdp::new(params.with_threads(4)).fit(&data).unwrap();
+        assert_eq!(a.rho(), b.rho());
+        assert_eq!(a.delta(), b.delta());
+        assert_eq!(a.dependent(), b.dependent());
     }
 
     #[test]
-    fn empty_input() {
-        assert!(LshDdp::new(DpcParams::new(1.0)).run(&Dataset::new(2)).is_empty());
+    fn empty_input_is_an_error() {
+        assert_eq!(
+            LshDdp::new(DpcParams::new(1.0)).fit(&Dataset::new(2)).unwrap_err(),
+            DpcError::EmptyDataset
+        );
     }
 }

@@ -7,8 +7,8 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::{finalize, jittered_density};
-use dpc_core::{Clustering, DpcAlgorithm, DpcParams, Timings};
+use dpc_core::framework::jittered_density;
+use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::Dataset;
 use dpc_index::RTree;
 use dpc_parallel::Executor;
@@ -44,7 +44,11 @@ impl DpcAlgorithm for RtreeScan {
         "R-tree + Scan"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        if data.is_empty() {
+            return Err(DpcError::EmptyDataset);
+        }
         let mut timings = Timings::default();
         let start = Instant::now();
         let tree = RTree::build(data);
@@ -57,22 +61,31 @@ impl DpcAlgorithm for RtreeScan {
         let (dependent, delta) = Scan::new(self.params).dependent_points(data, &rho);
         timings.delta_secs = start.elapsed().as_secs_f64();
 
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpc_core::ExDpc;
+    use dpc_core::{ExDpc, Thresholds};
     use dpc_data::generators::uniform;
 
     #[test]
     fn identical_output_to_exdpc() {
         let data = uniform(350, 3, 80.0, 44);
-        let params = DpcParams::new(8.0).with_rho_min(1.0).with_delta_min(20.0);
-        let a = RtreeScan::new(params).run(&data);
-        let b = ExDpc::new(params).run(&data);
+        let params = DpcParams::new(8.0);
+        let thresholds = Thresholds::new(1.0, 20.0).unwrap();
+        let a = RtreeScan::new(params).run(&data, &thresholds).unwrap();
+        let b = ExDpc::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(a.rho, b.rho);
         assert_eq!(a.centers, b.centers);
         assert_eq!(a.assignment, b.assignment);
@@ -82,14 +95,17 @@ mod tests {
     fn parallel_matches_sequential() {
         let data = uniform(200, 2, 40.0, 3);
         let params = DpcParams::new(4.0);
-        let a = RtreeScan::new(params.with_threads(1)).run(&data);
-        let b = RtreeScan::new(params.with_threads(3)).run(&data);
-        assert_eq!(a.rho, b.rho);
-        assert_eq!(a.assignment, b.assignment);
+        let a = RtreeScan::new(params.with_threads(1)).fit(&data).unwrap();
+        let b = RtreeScan::new(params.with_threads(3)).fit(&data).unwrap();
+        assert_eq!(a.rho(), b.rho());
+        assert_eq!(a.dependent(), b.dependent());
     }
 
     #[test]
-    fn handles_empty_dataset() {
-        assert!(RtreeScan::new(DpcParams::new(1.0)).run(&Dataset::new(2)).is_empty());
+    fn empty_dataset_is_an_error() {
+        assert_eq!(
+            RtreeScan::new(DpcParams::new(1.0)).fit(&Dataset::new(2)).unwrap_err(),
+            DpcError::EmptyDataset
+        );
     }
 }

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::{descending_density_order, finalize, jittered_density};
-use dpc_core::{Clustering, DpcAlgorithm, DpcParams, Timings};
+use dpc_core::framework::{descending_density_order, jittered_density};
+use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
 
@@ -32,10 +32,7 @@ impl Scan {
         let seed = self.params.jitter_seed;
         executor.map_dynamic(data.len(), |i| {
             let pi = data.point(i);
-            let count = data
-                .iter()
-                .filter(|(j, pj)| *j != i && dist_sq(pi, pj) < dcut_sq)
-                .count();
+            let count = data.iter().filter(|(j, pj)| *j != i && dist_sq(pi, pj) < dcut_sq).count();
             jittered_density(count, i, seed)
         })
     }
@@ -58,7 +55,7 @@ impl Scan {
             // this is the early termination of §2.2.
             for &j in &order[..rank[i]] {
                 let d = dist(pi, data.point(j));
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((j, d));
                 }
             }
@@ -79,7 +76,11 @@ impl DpcAlgorithm for Scan {
         "Scan"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        if data.is_empty() {
+            return Err(DpcError::EmptyDataset);
+        }
         let mut timings = Timings::default();
         let start = Instant::now();
         let rho = self.local_densities(data);
@@ -91,22 +92,31 @@ impl DpcAlgorithm for Scan {
 
         // Scan needs no index; only the sorted order is extra memory.
         let index_bytes = data.len() * std::mem::size_of::<usize>();
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpc_core::ExDpc;
+    use dpc_core::{ExDpc, Thresholds};
     use dpc_data::generators::{gaussian_blobs, uniform};
 
     #[test]
     fn scan_equals_exdpc_exactly() {
         let data = uniform(400, 2, 100.0, 12);
-        let params = DpcParams::new(7.0).with_rho_min(2.0).with_delta_min(25.0);
-        let scan = Scan::new(params).run(&data);
-        let ex = ExDpc::new(params).run(&data);
+        let params = DpcParams::new(7.0);
+        let thresholds = Thresholds::new(2.0, 25.0).unwrap();
+        let scan = Scan::new(params).run(&data, &thresholds).unwrap();
+        let ex = ExDpc::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(scan.rho, ex.rho);
         for i in 0..data.len() {
             let a = scan.delta[i];
@@ -124,26 +134,28 @@ mod tests {
     fn scan_parallel_equals_sequential() {
         let data = uniform(300, 3, 50.0, 5);
         let params = DpcParams::new(6.0);
-        let a = Scan::new(params.with_threads(1)).run(&data);
-        let b = Scan::new(params.with_threads(4)).run(&data);
-        assert_eq!(a.rho, b.rho);
-        assert_eq!(a.delta, b.delta);
-        assert_eq!(a.assignment, b.assignment);
+        let a = Scan::new(params.with_threads(1)).fit(&data).unwrap();
+        let b = Scan::new(params.with_threads(4)).fit(&data).unwrap();
+        assert_eq!(a.rho(), b.rho());
+        assert_eq!(a.delta(), b.delta());
+        assert_eq!(a.dependent(), b.dependent());
     }
 
     #[test]
     fn scan_clusters_blobs() {
         let data = gaussian_blobs(&[(0.0, 0.0), (100.0, 100.0)], 150, 3.0, 9);
-        let params = DpcParams::new(8.0).with_rho_min(4.0).with_delta_min(50.0);
-        let c = Scan::new(params).run(&data);
+        let params = DpcParams::new(8.0);
+        let thresholds = Thresholds::new(4.0, 50.0).unwrap();
+        let c = Scan::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 2);
     }
 
     #[test]
     fn scan_empty_and_single() {
         let params = DpcParams::new(1.0);
-        assert!(Scan::new(params).run(&Dataset::new(2)).is_empty());
+        assert_eq!(Scan::new(params).fit(&Dataset::new(2)).unwrap_err(), DpcError::EmptyDataset);
         let single = Dataset::from_flat(2, vec![0.0, 0.0]);
-        assert_eq!(Scan::new(params).run(&single).num_clusters(), 1);
+        let c = Scan::new(params).run(&single, &Thresholds::for_dcut(1.0)).unwrap();
+        assert_eq!(c.num_clusters(), 1);
     }
 }

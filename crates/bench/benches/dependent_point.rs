@@ -1,44 +1,32 @@
-//! Criterion benchmark of the dependent-point (δ) kernels: the Scan approach
-//! versus Ex-DPC's incremental kd-tree approach.
+//! Benchmark of the dependent-point (δ) kernels: the Scan approach versus
+//! Ex-DPC's incremental kd-tree approach, plus a full Approx-DPC fit for
+//! reference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpc_baselines::Scan;
+use dpc_bench::micro::bench;
 use dpc_bench::{default_params, BenchDataset};
-use dpc_core::{DpcAlgorithm, ExDpc};
+use dpc_core::{ApproxDpc, DpcAlgorithm, ExDpc};
 use dpc_index::KdTree;
-use std::hint::black_box;
 
 const N: usize = 8_000;
 
-fn bench_dependent_point(c: &mut Criterion) {
+fn main() {
     let dataset = BenchDataset::Syn;
     let data = dataset.generate(N);
     let params = default_params(&dataset, 1);
+    println!("dependent_point ({} n = {N})", dataset.name());
+
     // Densities are shared input for both kernels.
     let tree = KdTree::build(&data);
     let rho = ExDpc::new(params).local_densities(&data, &tree);
     drop(tree);
 
-    let mut group = c.benchmark_group("dependent_point");
-    group.sample_size(10);
+    let scan = Scan::new(params);
+    bench("scan_early_termination", 5, || scan.dependent_points(&data, &rho));
 
-    group.bench_function("scan_early_termination", |b| {
-        let algo = Scan::new(params);
-        b.iter(|| black_box(algo.dependent_points(&data, &rho)))
-    });
+    let exdpc = ExDpc::new(params);
+    bench("exdpc_incremental_kdtree", 5, || exdpc.dependent_points(&data, &rho));
 
-    group.bench_function("exdpc_incremental_kdtree", |b| {
-        let algo = ExDpc::new(params);
-        b.iter(|| black_box(algo.dependent_points(&data, &rho)))
-    });
-
-    group.bench_function("approx_dpc_full_run_for_reference", |b| {
-        let algo = dpc_core::ApproxDpc::new(params);
-        b.iter(|| black_box(algo.run(&data)).num_clusters())
-    });
-
-    group.finish();
+    let approx = ApproxDpc::new(params);
+    bench("approx_dpc_full_fit_for_reference", 5, || approx.fit(&data).expect("fit Syn").len());
 }
-
-criterion_group!(benches, bench_dependent_point);
-criterion_main!(benches);

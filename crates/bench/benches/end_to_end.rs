@@ -1,27 +1,27 @@
-//! Criterion end-to-end benchmark: every algorithm on a small Syn dataset.
-//! The harness binaries in `src/bin` cover the paper-scale sweeps; this bench
-//! is the regression guard for the relative ordering (who is faster than whom).
+//! End-to-end benchmark: every algorithm on a small Syn dataset. The harness
+//! binaries in `src/bin` cover the paper-scale sweeps; this bench is the
+//! regression guard for the relative ordering (who is faster than whom), and
+//! it also records the fit-vs-extract asymmetry the model API is built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dpc_bench::{default_params, Algo, BenchDataset};
-use std::hint::black_box;
+use dpc_bench::micro::bench;
+use dpc_bench::{default_params, default_thresholds, Algo, BenchDataset};
 
 const N: usize = 6_000;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let dataset = BenchDataset::Syn;
     let data = dataset.generate(N);
     let params = default_params(&dataset, 1);
-    let mut group = c.benchmark_group("end_to_end_syn_6k");
-    group.sample_size(10);
+    let thresholds = default_thresholds(params.dcut);
+    println!("end_to_end ({} n = {N})", dataset.name());
 
     for algo in Algo::all(0.8) {
-        group.bench_function(algo.name(), |b| {
-            b.iter(|| black_box(algo.run(&data, params)).num_clusters())
-        });
+        let label = format!("fit+extract {}", algo.name());
+        bench(&label, 5, || algo.run(&data, params, &thresholds).expect("run").num_clusters());
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);
+    // The point of the fit/extract split: re-thresholding a fitted model is
+    // orders of magnitude cheaper than any full run above.
+    let model = Algo::ApproxDpc.fit(&data, params).expect("fit");
+    bench("extract only (Approx-DPC model)", 50, || model.extract(&thresholds).num_clusters());
+}

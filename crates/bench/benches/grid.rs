@@ -1,59 +1,46 @@
-//! Criterion microbenchmarks for the uniform grid: construction and the joint
-//! range search of Approx-DPC (one kd-tree query per cell) versus per-point
-//! range searches (Ex-DPC style).
+//! Microbenchmarks for the uniform grid: construction and the joint range
+//! search of Approx-DPC (one kd-tree query per cell) versus per-point range
+//! searches (Ex-DPC style).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dpc_bench::micro::bench;
 use dpc_data::generators::random_walk;
 use dpc_geometry::dist;
 use dpc_index::{Grid, KdTree};
-use std::hint::black_box;
 
 const N: usize = 20_000;
 const DCUT: f64 = 250.0;
 
-fn bench_grid(c: &mut Criterion) {
+fn main() {
     let data = random_walk(N, 13, 1e5, 3);
     let side = DCUT / (data.dim() as f64).sqrt();
-    let mut group = c.benchmark_group("grid");
-    group.sample_size(10);
+    println!("grid (n = {N}, d_cut = {DCUT})");
 
-    group.bench_function("build_20k", |b| {
-        b.iter(|| black_box(Grid::build(&data, side)).num_cells())
-    });
+    bench("build_20k", 10, || Grid::build(&data, side).num_cells());
 
     let tree = KdTree::build(&data);
     let grid = Grid::build(&data, side);
 
-    group.bench_function("per_point_range_searches", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for (i, p) in data.iter() {
-                total += tree.range_count(p, DCUT, Some(i));
-            }
-            black_box(total)
-        })
+    bench("per_point_range_searches", 5, || {
+        let mut total = 0usize;
+        for (i, p) in data.iter() {
+            total += tree.range_count(p, DCUT, Some(i));
+        }
+        total
     });
 
-    group.bench_function("joint_range_search_per_cell", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            let mut buffer = Vec::new();
-            for cell in grid.cell_ids() {
-                let center = grid.center(cell);
-                let extra = grid
-                    .points(cell)
-                    .iter()
-                    .map(|&p| dist(&center, data.point(p)))
-                    .fold(0.0f64, f64::max);
-                tree.range_search_into(&center, DCUT + extra, &mut buffer);
-                total += buffer.len();
-            }
-            black_box(total)
-        })
+    bench("joint_range_search_per_cell", 5, || {
+        let mut total = 0usize;
+        let mut buffer = Vec::new();
+        for cell in grid.cell_ids() {
+            let center = grid.center(cell);
+            let extra = grid
+                .points(cell)
+                .iter()
+                .map(|&p| dist(&center, data.point(p)))
+                .fold(0.0f64, f64::max);
+            tree.range_search_into(&center, DCUT + extra, &mut buffer);
+            total += buffer.len();
+        }
+        total
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_grid);
-criterion_main!(benches);

@@ -1,54 +1,37 @@
-//! Criterion microbenchmarks for the kd-tree substrate: bulk build,
-//! incremental insertion, range counting and nearest-neighbour search.
+//! Microbenchmarks for the kd-tree substrate: bulk build, incremental
+//! insertion, range counting and nearest-neighbour search.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpc_bench::micro::bench;
 use dpc_data::generators::uniform;
 use dpc_index::KdTree;
 use std::hint::black_box;
 
 const N: usize = 20_000;
 
-fn bench_kd_tree(c: &mut Criterion) {
+fn main() {
     let data = uniform(N, 2, 100_000.0, 1);
-    let mut group = c.benchmark_group("kd_tree");
-    group.sample_size(10);
+    println!("kd_tree (n = {N})");
 
-    group.bench_function("bulk_build_20k", |b| {
-        b.iter(|| black_box(KdTree::build(&data)).len())
-    });
+    bench("bulk_build_20k", 10, || KdTree::build(&data).len());
 
-    group.bench_function("incremental_insert_20k", |b| {
-        b.iter_batched(
-            || KdTree::new_empty(&data),
-            |mut tree| {
-                for id in 0..data.len() {
-                    tree.insert(id);
-                }
-                black_box(tree.len())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("incremental_insert_20k", 10, || {
+        let mut tree = KdTree::new_empty(&data);
+        for id in 0..data.len() {
+            tree.insert(id);
+        }
+        tree.len()
     });
 
     let tree = KdTree::build(&data);
-    group.bench_function("range_count_dcut_250", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 97) % data.len();
-            black_box(tree.range_count(data.point(i), 250.0, Some(i)))
-        })
+    let mut i = 0usize;
+    bench("range_count_dcut_250", 2_000, || {
+        i = (i + 97) % data.len();
+        black_box(tree.range_count(data.point(i), 250.0, Some(i)))
     });
 
-    group.bench_function("nearest_neighbor", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 31) % data.len();
-            black_box(tree.nearest_neighbor(data.point(i), Some(i)))
-        })
+    let mut j = 0usize;
+    bench("nearest_neighbor", 2_000, || {
+        j = (j + 31) % data.len();
+        black_box(tree.nearest_neighbor(data.point(j), Some(j)))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_kd_tree);
-criterion_main!(benches);

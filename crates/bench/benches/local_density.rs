@@ -1,40 +1,27 @@
-//! Criterion benchmark of the local-density (ρ) kernels across algorithms.
+//! Benchmark of the local-density (ρ) kernels across algorithms.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpc_baselines::{RtreeScan, Scan};
+use dpc_bench::micro::bench;
 use dpc_bench::{default_params, BenchDataset};
 use dpc_core::ExDpc;
 use dpc_index::{KdTree, RTree};
-use std::hint::black_box;
 
 const N: usize = 8_000;
 
-fn bench_local_density(c: &mut Criterion) {
+fn main() {
     let dataset = BenchDataset::Syn;
     let data = dataset.generate(N);
     let params = default_params(&dataset, 1);
-    let mut group = c.benchmark_group("local_density");
-    group.sample_size(10);
+    println!("local_density ({} n = {N})", dataset.name());
 
-    group.bench_function("scan", |b| {
-        let algo = Scan::new(params);
-        b.iter(|| black_box(algo.local_densities(&data)))
-    });
+    let scan = Scan::new(params);
+    bench("scan", 5, || scan.local_densities(&data));
 
-    group.bench_function("rtree", |b| {
-        let algo = RtreeScan::new(params);
-        let tree = RTree::build(&data);
-        b.iter(|| black_box(algo.local_densities(&data, &tree)))
-    });
+    let rtree_scan = RtreeScan::new(params);
+    let rtree = RTree::build(&data);
+    bench("rtree", 5, || rtree_scan.local_densities(&data, &rtree));
 
-    group.bench_function("exdpc_kdtree", |b| {
-        let algo = ExDpc::new(params);
-        let tree = KdTree::build(&data);
-        b.iter(|| black_box(algo.local_densities(&data, &tree)))
-    });
-
-    group.finish();
+    let exdpc = ExDpc::new(params);
+    let kdtree = KdTree::build(&data);
+    bench("exdpc_kdtree", 5, || exdpc.local_densities(&data, &kdtree));
 }
-
-criterion_group!(benches, bench_local_density);
-criterion_main!(benches);

@@ -1,31 +1,26 @@
-//! Criterion benchmark and ablation of the cost-based partitioner: LPT greedy
-//! versus round-robin (hash) partitioning on skewed per-cell costs — the design
+//! Benchmark and ablation of the cost-based partitioner: LPT greedy versus
+//! round-robin (hash) partitioning on skewed per-cell costs — the design
 //! choice behind Approx-DPC's load balancing (§4.5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dpc_bench::micro::bench;
 use dpc_bench::BenchDataset;
 use dpc_index::Grid;
 use dpc_parallel::partition::{lpt_partition, round_robin_partition};
-use std::hint::black_box;
 
-fn bench_partition(c: &mut Criterion) {
+fn main() {
     // Real per-cell costs from the Household surrogate grid — heavily skewed.
     let dataset = BenchDataset::real_datasets()[1];
     let data = dataset.generate(20_000);
     let grid = Grid::build(&data, dataset.default_dcut() / (data.dim() as f64).sqrt());
     let costs: Vec<f64> = grid.cell_ids().map(|cell| grid.points(cell).len() as f64).collect();
+    println!("partition ({} cells)", costs.len());
 
-    let mut group = c.benchmark_group("partition");
-    group.sample_size(20);
     for threads in [4usize, 16, 48] {
-        group.bench_function(format!("lpt_{threads}_threads"), |b| {
-            b.iter(|| black_box(lpt_partition(&costs, threads)).imbalance())
-        });
-        group.bench_function(format!("round_robin_{threads}_threads"), |b| {
-            b.iter(|| black_box(round_robin_partition(&costs, threads)).imbalance())
+        bench(&format!("lpt_{threads}_threads"), 20, || lpt_partition(&costs, threads).imbalance());
+        bench(&format!("round_robin_{threads}_threads"), 20, || {
+            round_robin_partition(&costs, threads).imbalance()
         });
     }
-    group.finish();
 
     // Print the ablation numbers once so `cargo bench` output records them.
     for threads in [4usize, 16, 48] {
@@ -37,6 +32,3 @@ fn bench_partition(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Figure 1: the decision graph of dataset S2.
 //!
-//! Runs Ex-DPC on S2 and prints the 20 largest dependent distances together
-//! with their local densities — the points that "stand out" in the decision
-//! graph and reveal the 15 Gaussian clusters. With `--out <path>` the full
-//! `(ρ, δ)` scatter is written as CSV for plotting.
+//! Fits Ex-DPC on S2 once and prints the 20 largest dependent distances
+//! together with their local densities — the points that "stand out" in the
+//! decision graph and reveal the 15 Gaussian clusters. With `--out <path>` the
+//! full `(ρ, δ)` scatter is written as CSV for plotting. No clustering is ever
+//! extracted: the decision graph is a property of the fitted model alone,
+//! which is exactly what the fit/extract split expresses.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, BenchDataset, HarnessArgs};
+use dpc_bench::{default_params, default_thresholds, BenchDataset, HarnessArgs};
 use dpc_core::{DpcAlgorithm, ExDpc};
 
 fn main() {
@@ -14,6 +16,7 @@ fn main() {
     let dataset = BenchDataset::S(2);
     let data = dataset.generate(args.n);
     let params = default_params(&dataset, args.threads);
+    let thresholds = default_thresholds(params.dcut);
     println!(
         "Figure 1: decision graph of {} (n = {}, d_cut = {})",
         dataset.name(),
@@ -21,8 +24,8 @@ fn main() {
         params.dcut
     );
 
-    let clustering = ExDpc::new(params).run(&data);
-    let graph = clustering.decision_graph();
+    let model = ExDpc::new(params).fit(&data).expect("fit S2");
+    let graph = model.decision_graph();
 
     if let Some(path) = &args.out {
         let mut csv = String::from("rho,delta\n");
@@ -34,10 +37,7 @@ fn main() {
     }
 
     println!("\nTop 20 points by dependent distance (candidate cluster centres):");
-    print_row(
-        &["rank".into(), "point".into(), "rho".into(), "delta".into()],
-        &[4, 8, 12, 16],
-    );
+    print_row(&["rank".into(), "point".into(), "rho".into(), "delta".into()], &[4, 8, 12, 16]);
     for (rank, (id, rho, delta)) in graph.by_decreasing_delta().into_iter().take(20).enumerate() {
         print_row(
             &[
@@ -50,7 +50,7 @@ fn main() {
         );
     }
 
-    let suggested = graph.suggest_delta_min(15, params.rho_min);
+    let suggested = graph.suggest_delta_min(15, thresholds.rho_min);
     match suggested {
         Some(t) => println!(
             "\nδ_min = {t:.1} separates exactly 15 centres (the paper's S2 has 15 clusters)."

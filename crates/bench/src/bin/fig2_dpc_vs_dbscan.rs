@@ -6,11 +6,15 @@
 //! border points connect them. This binary reproduces the comparison
 //! numerically: it reports the number of clusters each method finds and their
 //! agreement (Rand index) with the generator's ground-truth labels.
+//!
+//! The DPC side uses the fit/extract workflow the way a user would: fit once,
+//! read the decision graph, extract with the chosen δ_min — the ρ/δ phases run
+//! exactly once.
 
 use dpc_baselines::Dbscan;
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, BenchDataset, HarnessArgs};
-use dpc_core::{DpcAlgorithm, ExDpc};
+use dpc_bench::{default_params, default_thresholds, BenchDataset, HarnessArgs};
+use dpc_core::{DpcAlgorithm, ExDpc, Thresholds};
 use dpc_data::generators::s_set_labels;
 use dpc_data::io::write_labeled;
 use dpc_eval::rand_index;
@@ -21,17 +25,19 @@ fn main() {
     let data = dataset.generate(args.n);
     let truth: Vec<i64> = s_set_labels(data.len()).into_iter().map(|l| l as i64).collect();
     let params = default_params(&dataset, args.threads);
+    let defaults = default_thresholds(params.dcut);
     println!("Figure 2: DPC vs DBSCAN on {} (n = {})", dataset.name(), data.len());
 
-    // DPC: pick δ_min from the decision graph so that 15 centres are selected,
-    // exactly how the paper instructs users to read Figure 1.
-    let probe = ExDpc::new(params).run(&data);
-    let delta_min = probe
+    // DPC: fit once, pick δ_min from the decision graph so that 15 centres are
+    // selected (exactly how the paper instructs users to read Figure 1), then
+    // extract — an O(n) relabel on the same model, no second fit.
+    let model = ExDpc::new(params).fit(&data).expect("fit S2");
+    let delta_min = model
         .decision_graph()
-        .suggest_delta_min(15, params.rho_min)
-        .unwrap_or(params.delta_min)
+        .suggest_delta_min(15, defaults.rho_min)
+        .unwrap_or(defaults.delta_min)
         .max(params.dcut * 1.01);
-    let dpc = ExDpc::new(params.with_delta_min(delta_min)).run(&data);
+    let dpc = model.extract(&Thresholds::new(defaults.rho_min, delta_min).expect("valid δ_min"));
 
     // DBSCAN: ε grid-searched to maximise the number of clusters (the paper
     // uses OPTICS to pick parameters yielding 15 clusters; a sweep over ε has
@@ -48,10 +54,7 @@ fn main() {
         }
     }
 
-    print_row(
-        &["method".into(), "clusters".into(), "Rand index vs truth".into()],
-        &[12, 10, 22],
-    );
+    print_row(&["method".into(), "clusters".into(), "Rand index vs truth".into()], &[12, 10, 22]);
     print_row(
         &[
             "DPC (Ex-DPC)".into(),
@@ -75,7 +78,5 @@ fn main() {
             .expect("write DBSCAN labels");
         println!("\nlabelled points written to {path}.dpc.csv and {path}.dbscan.csv");
     }
-    println!(
-        "\nExpected shape (paper): DPC recovers all 15 clusters; DBSCAN merges some of them."
-    );
+    println!("\nExpected shape (paper): DPC recovers all 15 clusters; DBSCAN merges some of them.");
 }

@@ -5,7 +5,9 @@
 //! of §6.1), and can dump per-point labels as CSV for plotting.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_data::io::write_labeled;
 use dpc_eval::rand_index;
 
@@ -14,6 +16,7 @@ fn main() {
     let dataset = BenchDataset::Syn;
     let data = dataset.generate(args.n);
     let params = default_params(&dataset, args.threads);
+    let thresholds = default_thresholds(params.dcut);
     println!(
         "Figure 6: clustering of {} (n = {}, d_cut = {}, {} threads)",
         dataset.name(),
@@ -22,7 +25,7 @@ fn main() {
         params.threads
     );
 
-    let (ground_truth, _) = run_algorithm(&Algo::ExDpc, &data, params);
+    let (ground_truth, _) = run_algorithm(&Algo::ExDpc, &data, params, &thresholds);
     let algorithms = [
         Algo::ExDpc,
         Algo::LshDdp,
@@ -32,11 +35,17 @@ fn main() {
     ];
 
     print_row(
-        &["algorithm".into(), "clusters".into(), "noise".into(), "Rand index".into(), "time".into()],
+        &[
+            "algorithm".into(),
+            "clusters".into(),
+            "noise".into(),
+            "Rand index".into(),
+            "time".into(),
+        ],
         &[22, 9, 8, 11, 11],
     );
     for algo in algorithms {
-        let (clustering, secs) = run_algorithm(&algo, &data, params);
+        let (clustering, secs) = run_algorithm(&algo, &data, params, &thresholds);
         let label = match algo {
             Algo::SApproxDpc { epsilon } => format!("{} (eps={epsilon})", algo.name()),
             _ => algo.name(),

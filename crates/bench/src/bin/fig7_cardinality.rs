@@ -6,7 +6,9 @@
 //! changing the conclusion.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_data::transform::sample_rate;
 
 fn main() {
@@ -21,6 +23,7 @@ fn main() {
     for dataset in BenchDataset::real_datasets() {
         let base = dataset.generate(args.n);
         let params = default_params(&dataset, args.threads);
+        let thresholds = default_thresholds(params.dcut);
         println!("\n{} (d_cut = {})", dataset.name(), params.dcut);
         let mut header = vec!["rate".to_string()];
         header.extend(algorithms.iter().map(|a| a.name()));
@@ -30,7 +33,7 @@ fn main() {
             let data = sample_rate(&base, rate, 31);
             let mut cells = vec![format!("{rate:.3}")];
             for algo in &algorithms {
-                let (_, secs) = run_algorithm(algo, &data, params);
+                let (_, secs) = run_algorithm(algo, &data, params, &thresholds);
                 cells.push(format!("{secs:.2}"));
             }
             print_row(&cells, &widths);

@@ -9,7 +9,9 @@
 //! argument rests on.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_index::Grid;
 use dpc_parallel::partition::{lpt_partition, round_robin_partition};
 
@@ -25,6 +27,7 @@ fn main() {
     );
     for dataset in BenchDataset::real_datasets() {
         let data = dataset.generate(args.n);
+        let thresholds = default_thresholds(dataset.default_dcut());
         println!("\n{}", dataset.name());
         let mut header = vec!["threads".to_string()];
         header.extend(algorithms.iter().map(|a| a.name()));
@@ -34,7 +37,7 @@ fn main() {
             let params = default_params(&dataset, threads);
             let mut cells = vec![threads.to_string()];
             for algo in &algorithms {
-                let (_, secs) = run_algorithm(algo, &data, params);
+                let (_, secs) = run_algorithm(algo, &data, params, &thresholds);
                 cells.push(format!("{secs:.2}"));
             }
             print_row(&cells, &widths);
@@ -44,8 +47,7 @@ fn main() {
         // (LSH-DDP style) over the per-cell range-search cost estimates.
         let params = default_params(&dataset, 1);
         let grid = Grid::build(&data, params.dcut / (data.dim() as f64).sqrt());
-        let costs: Vec<f64> =
-            grid.cell_ids().map(|c| grid.points(c).len() as f64).collect();
+        let costs: Vec<f64> = grid.cell_ids().map(|c| grid.points(c).len() as f64).collect();
         println!("  load imbalance (max/mean cost per thread) over {} cells:", costs.len());
         print_row(&["threads".into(), "LPT".into(), "round-robin".into()], &[8, 8, 12]);
         for &threads in &thread_counts[1..] {

@@ -2,7 +2,9 @@
 //! noise rates.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_data::transform::add_noise;
 use dpc_eval::rand_index;
 
@@ -11,6 +13,7 @@ fn main() {
     let dataset = BenchDataset::Syn;
     let base = dataset.generate(args.n);
     let params = default_params(&dataset, args.threads);
+    let thresholds = default_thresholds(params.dcut);
     println!(
         "Table 2: Rand index vs noise rate on {} (n = {}, eps = 1.0 for S-Approx-DPC)",
         dataset.name(),
@@ -23,10 +26,10 @@ fn main() {
 
     for rate in [0.01, 0.02, 0.04, 0.08, 0.16] {
         let noisy = add_noise(&base, rate, 777);
-        let (truth, _) = run_algorithm(&Algo::ExDpc, &noisy, params);
+        let (truth, _) = run_algorithm(&Algo::ExDpc, &noisy, params, &thresholds);
         let mut cells = vec![format!("{rate:.2}")];
         for algo in [Algo::LshDdp, Algo::ApproxDpc, Algo::SApproxDpc { epsilon: 1.0 }] {
-            let (clustering, _) = run_algorithm(&algo, &noisy, params);
+            let (clustering, _) = run_algorithm(&algo, &noisy, params, &thresholds);
             cells.push(format!("{:.3}", rand_index(clustering.labels(), truth.labels())));
         }
         print_row(&cells, &[10, 10, 12, 14]);

@@ -2,7 +2,9 @@
 //! datasets (increasing cluster overlap).
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_eval::rand_index;
 
 fn main() {
@@ -16,10 +18,11 @@ fn main() {
         let dataset = BenchDataset::S(level);
         let data = dataset.generate(args.n);
         let params = default_params(&dataset, args.threads);
-        let (truth, _) = run_algorithm(&Algo::ExDpc, &data, params);
+        let thresholds = default_thresholds(params.dcut);
+        let (truth, _) = run_algorithm(&Algo::ExDpc, &data, params, &thresholds);
         let mut cells = vec![dataset.name()];
         for algo in [Algo::LshDdp, Algo::ApproxDpc, Algo::SApproxDpc { epsilon: 1.0 }] {
-            let (clustering, _) = run_algorithm(&algo, &data, params);
+            let (clustering, _) = run_algorithm(&algo, &data, params, &thresholds);
             cells.push(format!("{:.3}", rand_index(clustering.labels(), truth.labels())));
         }
         print_row(&cells, &[8, 10, 12, 14]);

@@ -2,23 +2,23 @@
 //! surrogates at default parameters.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 use dpc_eval::rand_index;
 
 fn main() {
     let args = HarnessArgs::from_env();
     println!("Table 4: Rand index on the real-dataset surrogates (n = {})", args.n);
-    print_row(
-        &["dataset".into(), "LSH-DDP".into(), "Approx-DPC".into()],
-        &[10, 10, 12],
-    );
+    print_row(&["dataset".into(), "LSH-DDP".into(), "Approx-DPC".into()], &[10, 10, 12]);
     for dataset in BenchDataset::real_datasets() {
         let data = dataset.generate(args.n);
         let params = default_params(&dataset, args.threads);
-        let (truth, _) = run_algorithm(&Algo::ExDpc, &data, params);
+        let thresholds = default_thresholds(params.dcut);
+        let (truth, _) = run_algorithm(&Algo::ExDpc, &data, params, &thresholds);
         let mut cells = vec![dataset.name()];
         for algo in [Algo::LshDdp, Algo::ApproxDpc] {
-            let (clustering, _) = run_algorithm(&algo, &data, params);
+            let (clustering, _) = run_algorithm(&algo, &data, params, &thresholds);
             cells.push(format!("{:.3}", rand_index(clustering.labels(), truth.labels())));
         }
         print_row(&cells, &[10, 10, 12]);

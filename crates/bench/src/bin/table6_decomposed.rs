@@ -1,8 +1,12 @@
 //! Table 6: decomposed running time — local-density (ρ) phase and
 //! dependent-point (δ) phase — for every algorithm at default parameters.
+//! The fit/extract split makes the decomposition direct: the two fit phases
+//! come from the model's timings, the assignment pass from the extraction.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{
+    default_params, default_thresholds, run_algorithm, Algo, BenchDataset, HarnessArgs,
+};
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -14,13 +18,14 @@ fn main() {
     for dataset in BenchDataset::real_datasets() {
         let data = dataset.generate(args.n);
         let params = default_params(&dataset, args.threads);
+        let thresholds = default_thresholds(params.dcut);
         println!("\n{} (d_cut = {})", dataset.name(), params.dcut);
         print_row(
             &["algorithm".into(), "rho comp.".into(), "delta comp.".into(), "total".into()],
             &[16, 10, 12, 8],
         );
         for algo in &algorithms {
-            let (clustering, _) = run_algorithm(algo, &data, params);
+            let (clustering, _) = run_algorithm(algo, &data, params, &thresholds);
             print_row(
                 &[
                     algo.name(),

@@ -5,10 +5,11 @@
 //! by kd-trees, R-trees, grids, LSH tables, pivot structures), which makes the
 //! relative ordering directly comparable: Ex-DPC ≈ R-tree < Approx-DPC <
 //! S-Approx-DPC < LSH-DDP, with CFSFDP-A far above when its candidate sets are
-//! materialised.
+//! materialised. The byte counts live on the fitted model, so no extraction is
+//! needed at all.
 
 use dpc_bench::cli::print_row;
-use dpc_bench::{default_params, run_algorithm, Algo, BenchDataset, HarnessArgs};
+use dpc_bench::{default_params, fit_algorithm, Algo, BenchDataset, HarnessArgs};
 use dpc_eval::mebibytes;
 
 fn main() {
@@ -21,14 +22,13 @@ fn main() {
     let mut header = vec!["algorithm".to_string()];
     header.extend(BenchDataset::real_datasets().iter().map(|d| d.name()));
     print_row(&header, &[16, 10, 10, 10, 10]);
-    let mut rows: Vec<Vec<String>> =
-        algorithms.iter().map(|a| vec![a.name()]).collect();
+    let mut rows: Vec<Vec<String>> = algorithms.iter().map(|a| vec![a.name()]).collect();
     for dataset in BenchDataset::real_datasets() {
         let data = dataset.generate(args.n);
         let params = default_params(&dataset, args.threads);
         for (ai, algo) in algorithms.iter().enumerate() {
-            let (clustering, _) = run_algorithm(algo, &data, params);
-            rows[ai].push(format!("{:.2}", mebibytes(clustering.index_bytes)));
+            let (model, _) = fit_algorithm(algo, &data, params);
+            rows[ai].push(format!("{:.2}", mebibytes(model.index_bytes())));
         }
     }
     for row in rows {

@@ -1,6 +1,6 @@
 //! Bench-scale dataset constructors and default parameters.
 
-use dpc_core::DpcParams;
+use dpc_core::{DpcParams, Thresholds};
 use dpc_data::generators::{random_walk, s_set};
 use dpc_data::real::RealDataset;
 use dpc_geometry::Dataset;
@@ -60,17 +60,21 @@ impl BenchDataset {
     }
 }
 
-/// The "default parameters" of the evaluation for a dataset: its default
-/// `d_cut`, `ρ_min = 10` (the paper's example value for removing very sparse
-/// points) and `δ_min = 3·d_cut` (comfortably above the `δ_min > d_cut`
-/// requirement; the exact value only shifts how many centres all algorithms
-/// select and is shared by every algorithm in a comparison).
+/// The default structural parameters of the evaluation for a dataset: its
+/// default `d_cut` and the requested thread count. The thresholds live in
+/// [`default_thresholds`] — they are extraction-time inputs under the
+/// fit/extract API.
 pub fn default_params(dataset: &BenchDataset, threads: usize) -> DpcParams {
-    let dcut = dataset.default_dcut();
-    DpcParams::new(dcut)
-        .with_rho_min(10.0)
-        .with_delta_min(3.0 * dcut)
-        .with_threads(threads)
+    DpcParams::new(dataset.default_dcut()).with_threads(threads)
+}
+
+/// The default extraction thresholds for a `d_cut`: `ρ_min = 10` (the paper's
+/// example value for removing very sparse points) and `δ_min = 3·d_cut`
+/// (comfortably above the `δ_min > d_cut` requirement of Theorem 4; the exact
+/// value only shifts how many centres all algorithms select and is shared by
+/// every algorithm in a comparison).
+pub fn default_thresholds(dcut: f64) -> Thresholds {
+    Thresholds::new(10.0, 3.0 * dcut).expect("default thresholds are in-domain")
 }
 
 /// Convenience wrapper: dataset at an explicit cardinality.
@@ -99,11 +103,13 @@ mod tests {
     }
 
     #[test]
-    fn default_params_are_valid() {
+    fn default_params_and_thresholds_are_valid() {
         for ds in [BenchDataset::Syn, BenchDataset::Real(RealDataset::Airline)] {
             let p = default_params(&ds, 4);
-            assert!(p.delta_min > p.dcut);
+            assert!(p.validate().is_ok());
             assert_eq!(p.threads, 4);
+            let t = default_thresholds(p.dcut);
+            assert!(t.satisfies_center_guarantee(p.dcut));
         }
     }
 }

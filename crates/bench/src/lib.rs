@@ -14,8 +14,9 @@
 
 pub mod cli;
 pub mod datasets;
+pub mod micro;
 pub mod runner;
 
 pub use cli::HarnessArgs;
-pub use datasets::{bench_dataset, default_params, BenchDataset};
-pub use runner::{run_algorithm, Algo};
+pub use datasets::{bench_dataset, default_params, default_thresholds, BenchDataset};
+pub use runner::{fit_algorithm, run_algorithm, Algo};

@@ -1,0 +1,43 @@
+//! Tiny timing helper for the dependency-free micro-benchmarks in `benches/`.
+//!
+//! The container this workspace builds in has no third-party bench framework,
+//! so each file under `benches/` is a plain `harness = false` binary that
+//! calls [`bench`] per kernel: warm up once, run a fixed number of iterations,
+//! print min / mean wall-clock. Good enough to read relative orderings (who is
+//! faster than whom), which is all the paper-shape assertions need.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// `label: min …s, mean …s`. Returns the mean seconds so callers can assert
+/// on orderings if they want to.
+pub fn bench<R, F: FnMut() -> R>(label: &str, iters: usize, mut f: F) -> f64 {
+    assert!(iters > 0, "at least one iteration is required");
+    black_box(f());
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let secs = start.elapsed().as_secs_f64();
+        total += secs;
+        min = min.min(secs);
+    }
+    let mean = total / iters as f64;
+    println!("{label:<40} min {min:>10.6}s  mean {mean:>10.6}s  ({iters} iters)");
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean_and_runs_the_closure() {
+        let mut calls = 0usize;
+        let mean = bench("noop", 3, || calls += 1);
+        assert!(mean >= 0.0);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+    }
+}

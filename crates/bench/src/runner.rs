@@ -3,7 +3,10 @@
 use std::time::Instant;
 
 use dpc_baselines::{CfsfdpA, LshDdp, RtreeScan, Scan};
-use dpc_core::{ApproxDpc, Clustering, DpcAlgorithm, DpcParams, ExDpc, SApproxDpc};
+use dpc_core::{
+    ApproxDpc, Clustering, DpcAlgorithm, DpcError, DpcModel, DpcParams, ExDpc, SApproxDpc,
+    Thresholds,
+};
 use dpc_geometry::Dataset;
 
 /// The algorithms of the evaluation (§6, "Algorithms").
@@ -61,26 +64,64 @@ impl Algo {
         }
     }
 
-    /// Runs the algorithm on `data` with the given parameters.
-    pub fn run(&self, data: &Dataset, params: DpcParams) -> Clustering {
+    /// Constructs the algorithm with the given structural parameters.
+    pub fn build(&self, params: DpcParams) -> Box<dyn DpcAlgorithm> {
         match self {
-            Algo::Scan => Scan::new(params).run(data),
-            Algo::RtreeScan => RtreeScan::new(params).run(data),
-            Algo::LshDdp => LshDdp::new(params).run(data),
-            Algo::CfsfdpA => CfsfdpA::new(params).run(data),
-            Algo::ExDpc => ExDpc::new(params).run(data),
-            Algo::ApproxDpc => ApproxDpc::new(params).run(data),
+            Algo::Scan => Box::new(Scan::new(params)),
+            Algo::RtreeScan => Box::new(RtreeScan::new(params)),
+            Algo::LshDdp => Box::new(LshDdp::new(params)),
+            Algo::CfsfdpA => Box::new(CfsfdpA::new(params)),
+            Algo::ExDpc => Box::new(ExDpc::new(params)),
+            Algo::ApproxDpc => Box::new(ApproxDpc::new(params)),
             Algo::SApproxDpc { epsilon } => {
-                SApproxDpc::new(params).with_epsilon(*epsilon).run(data)
+                Box::new(SApproxDpc::new(params).with_epsilon(*epsilon))
             }
         }
     }
+
+    /// Fits the threshold-independent model (the expensive ρ/δ phases).
+    pub fn fit(&self, data: &Dataset, params: DpcParams) -> Result<DpcModel, DpcError> {
+        self.build(params).fit(data)
+    }
+
+    /// One-shot convenience: fit plus a single extraction.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        params: DpcParams,
+        thresholds: &Thresholds,
+    ) -> Result<Clustering, DpcError> {
+        Ok(self.fit(data, params)?.extract(thresholds))
+    }
 }
 
-/// Runs an algorithm and returns `(clustering, wall_clock_seconds)`.
-pub fn run_algorithm(algo: &Algo, data: &Dataset, params: DpcParams) -> (Clustering, f64) {
+/// Fits an algorithm and returns `(model, wall_clock_seconds)`.
+///
+/// # Panics
+/// Panics on a [`DpcError`]; the harness constructs its own inputs, so an
+/// error here is a bug in the experiment configuration.
+pub fn fit_algorithm(algo: &Algo, data: &Dataset, params: DpcParams) -> (DpcModel, f64) {
     let start = Instant::now();
-    let clustering = algo.run(data, params);
+    let model =
+        algo.fit(data, params).unwrap_or_else(|e| panic!("{} failed to fit: {e}", algo.name()));
+    (model, start.elapsed().as_secs_f64())
+}
+
+/// Runs an algorithm end to end (fit + one extraction) and returns
+/// `(clustering, wall_clock_seconds)`.
+///
+/// # Panics
+/// Panics on a [`DpcError`], as for [`fit_algorithm`].
+pub fn run_algorithm(
+    algo: &Algo,
+    data: &Dataset,
+    params: DpcParams,
+    thresholds: &Thresholds,
+) -> (Clustering, f64) {
+    let start = Instant::now();
+    let clustering = algo
+        .run(data, params, thresholds)
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", algo.name()));
     (clustering, start.elapsed().as_secs_f64())
 }
 
@@ -92,12 +133,27 @@ mod tests {
     #[test]
     fn all_algorithms_run_and_agree_on_easy_data() {
         let data = gaussian_blobs(&[(0.0, 0.0), (200.0, 200.0)], 150, 4.0, 5);
-        let params = DpcParams::new(10.0).with_rho_min(4.0).with_delta_min(80.0);
+        let params = DpcParams::new(10.0);
+        let thresholds = Thresholds::new(4.0, 80.0).unwrap();
         for algo in Algo::all(0.5) {
-            let (clustering, secs) = run_algorithm(&algo, &data, params);
+            let (clustering, secs) = run_algorithm(&algo, &data, params, &thresholds);
             assert_eq!(clustering.len(), data.len(), "{}", algo.name());
             assert_eq!(clustering.num_clusters(), 2, "{}", algo.name());
             assert!(secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_once_extract_many_matches_one_shot() {
+        let data = gaussian_blobs(&[(0.0, 0.0), (200.0, 200.0)], 100, 4.0, 9);
+        let params = DpcParams::new(10.0);
+        let (model, _) = fit_algorithm(&Algo::ApproxDpc, &data, params);
+        for delta_min in [20.0, 80.0, 300.0] {
+            let thresholds = Thresholds::new(4.0, delta_min).unwrap();
+            let from_model = model.extract(&thresholds);
+            let (one_shot, _) = run_algorithm(&Algo::ApproxDpc, &data, params, &thresholds);
+            assert_eq!(from_model.centers, one_shot.centers, "delta_min = {delta_min}");
+            assert_eq!(from_model.assignment, one_shot.assignment);
         }
     }
 

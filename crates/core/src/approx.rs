@@ -26,9 +26,11 @@ use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
-use crate::framework::{ascending_density_order, finalize, jittered_density};
+use crate::error::DpcError;
+use crate::framework::{ascending_density_order, jittered_density};
+use crate::model::DpcModel;
 use crate::params::DpcParams;
-use crate::result::{Clustering, Timings};
+use crate::result::Timings;
 use crate::DpcAlgorithm;
 
 /// Per-cell metadata produced by the local-density phase (§4.1).
@@ -48,7 +50,7 @@ pub struct ApproxDpc {
 }
 
 impl ApproxDpc {
-    /// Creates the algorithm with the given parameters.
+    /// Creates the algorithm with the given parameters (validated by `fit`).
     pub fn new(params: DpcParams) -> Self {
         Self { params }
     }
@@ -210,8 +212,8 @@ impl ApproxDpc {
         let s = Self::subset_count(n, data.dim());
         let subset_size = n.div_ceil(s);
         let subsets: Vec<&[usize]> = order.chunks(subset_size).collect();
-        let subset_trees: Vec<KdTree<'_>> = executor
-            .map_dynamic(subsets.len(), |j| KdTree::build_subset(data, subsets[j]));
+        let subset_trees: Vec<KdTree<'_>> =
+            executor.map_dynamic(subsets.len(), |j| KdTree::build_subset(data, subsets[j]));
         let subset_bytes: usize = subset_trees.iter().map(|t| t.mem_usage()).sum();
 
         // Cost model of §4.5 for the residual points.
@@ -242,7 +244,7 @@ impl ApproxDpc {
             for &q in subsets[my_subset] {
                 if rank[q] > my_rank {
                     let d = dist(pc, data.point(q));
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((q, d));
                     }
                 }
@@ -252,7 +254,7 @@ impl ApproxDpc {
             for (j, tree) in subset_trees.iter().enumerate().skip(my_subset + 1) {
                 debug_assert!(j > my_subset);
                 if let Some((q, d)) = tree.nearest_neighbor(pc, None) {
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((q, d));
                     }
                 }
@@ -277,13 +279,13 @@ impl DpcAlgorithm for ApproxDpc {
         "Approx-DPC"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        if data.is_empty() {
+            return Err(DpcError::EmptyDataset);
+        }
         let executor = Executor::new(self.params.threads);
         let mut timings = Timings::default();
-
-        if data.is_empty() {
-            return finalize(&self.params, vec![], vec![], vec![], timings, 0);
-        }
 
         let start = Instant::now();
         let (rho, grid, metas, tree_bytes) = self.densities(data, &executor);
@@ -295,13 +297,22 @@ impl DpcAlgorithm for ApproxDpc {
         timings.delta_secs = start.elapsed().as_secs_f64();
 
         let index_bytes = tree_bytes + grid.mem_usage() + subset_bytes;
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::Thresholds;
     use crate::ExDpc;
     use dpc_data::generators::{gaussian_blobs, random_walk, uniform};
 
@@ -310,9 +321,9 @@ mod tests {
         // Approx-DPC computes exact local densities (required by Theorem 4).
         let data = uniform(500, 2, 100.0, 17);
         let params = DpcParams::new(7.0);
-        let approx = ApproxDpc::new(params).run(&data);
-        let exact = ExDpc::new(params).run(&data);
-        assert_eq!(approx.rho, exact.rho);
+        let approx = ApproxDpc::new(params).fit(&data).unwrap();
+        let exact = ExDpc::new(params).fit(&data).unwrap();
+        assert_eq!(approx.rho(), exact.rho());
     }
 
     #[test]
@@ -320,9 +331,10 @@ mod tests {
         // Theorem 4: identical ρ_min / δ_min ⇒ identical centres.
         for seed in [1u64, 2, 3] {
             let data = random_walk(4_000, 6, 1e4, seed);
-            let params = DpcParams::new(60.0).with_rho_min(4.0).with_delta_min(200.0);
-            let exact = ExDpc::new(params).run(&data);
-            let approx = ApproxDpc::new(params).run(&data);
+            let params = DpcParams::new(60.0);
+            let thresholds = Thresholds::new(4.0, 200.0).unwrap();
+            let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
+            let approx = ApproxDpc::new(params).run(&data, &thresholds).unwrap();
             assert_eq!(exact.centers, approx.centers, "seed {seed}");
         }
     }
@@ -331,21 +343,21 @@ mod tests {
     fn delta_is_exact_for_points_with_delta_above_dcut() {
         let data = uniform(400, 2, 100.0, 23);
         let params = DpcParams::new(5.0);
-        let exact = ExDpc::new(params).run(&data);
-        let approx = ApproxDpc::new(params).run(&data);
+        let exact = ExDpc::new(params).fit(&data).unwrap();
+        let approx = ApproxDpc::new(params).fit(&data).unwrap();
         for i in 0..data.len() {
-            if exact.delta[i] > params.dcut {
+            if exact.delta()[i] > params.dcut {
                 assert!(
-                    (exact.delta[i] - approx.delta[i]).abs() < 1e-9
-                        || (exact.delta[i].is_infinite() && approx.delta[i].is_infinite()),
+                    (exact.delta()[i] - approx.delta()[i]).abs() < 1e-9
+                        || (exact.delta()[i].is_infinite() && approx.delta()[i].is_infinite()),
                     "point {i}: exact δ {} vs approx δ {}",
-                    exact.delta[i],
-                    approx.delta[i]
+                    exact.delta()[i],
+                    approx.delta()[i]
                 );
             } else {
                 // Approximated points report δ = d_cut, never more than the truth
                 // by construction of the rules (a close higher-density point exists).
-                assert!(approx.delta[i] <= params.dcut + 1e-9);
+                assert!(approx.delta()[i] <= params.dcut + 1e-9);
             }
         }
     }
@@ -353,14 +365,13 @@ mod tests {
     #[test]
     fn dependent_points_always_have_higher_density() {
         let data = gaussian_blobs(&[(0.0, 0.0), (80.0, 80.0)], 200, 4.0, 31);
-        let params = DpcParams::new(5.0);
-        let clustering = ApproxDpc::new(params).run(&data);
+        let model = ApproxDpc::new(DpcParams::new(5.0)).fit(&data).unwrap();
         for i in 0..data.len() {
-            let dep = clustering.dependent[i];
+            let dep = model.dependent()[i];
             if dep != i {
-                assert!(clustering.rho[dep] > clustering.rho[i]);
+                assert!(model.rho()[dep] > model.rho()[i]);
             } else {
-                assert!(clustering.delta[i].is_infinite());
+                assert!(model.delta()[i].is_infinite());
             }
         }
     }
@@ -369,26 +380,24 @@ mod tests {
     fn high_agreement_with_exdpc_on_blobs() {
         let centers = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)];
         let data = gaussian_blobs(&centers, 250, 3.0, 7);
-        let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(40.0);
-        let exact = ExDpc::new(params).run(&data);
-        let approx = ApproxDpc::new(params).run(&data);
+        let params = DpcParams::new(6.0);
+        let thresholds = Thresholds::new(5.0, 40.0).unwrap();
+        let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
+        let approx = ApproxDpc::new(params).run(&data, &thresholds).unwrap();
         assert_eq!(exact.num_clusters(), 4);
         assert_eq!(approx.num_clusters(), 4);
-        let agree = exact
-            .assignment
-            .iter()
-            .zip(approx.assignment.iter())
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree =
+            exact.assignment.iter().zip(approx.assignment.iter()).filter(|(a, b)| a == b).count();
         assert!(agree as f64 / data.len() as f64 > 0.98, "agreement {agree}/{}", data.len());
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let data = random_walk(3_000, 5, 1e4, 4);
-        let params = DpcParams::new(80.0).with_rho_min(3.0).with_delta_min(300.0);
-        let seq = ApproxDpc::new(params.with_threads(1)).run(&data);
-        let par = ApproxDpc::new(params.with_threads(4)).run(&data);
+        let params = DpcParams::new(80.0);
+        let thresholds = Thresholds::new(3.0, 300.0).unwrap();
+        let seq = ApproxDpc::new(params.with_threads(1)).run(&data, &thresholds).unwrap();
+        let par = ApproxDpc::new(params.with_threads(4)).run(&data, &thresholds).unwrap();
         assert_eq!(seq.rho, par.rho);
         assert_eq!(seq.delta, par.delta);
         assert_eq!(seq.dependent, par.dependent);
@@ -398,14 +407,18 @@ mod tests {
     #[test]
     fn empty_single_and_tiny_inputs() {
         let params = DpcParams::new(1.0);
-        assert!(ApproxDpc::new(params).run(&Dataset::new(2)).is_empty());
+        assert_eq!(
+            ApproxDpc::new(params).fit(&Dataset::new(2)).unwrap_err(),
+            DpcError::EmptyDataset
+        );
 
+        let thresholds = Thresholds::for_dcut(1.0);
         let single = Dataset::from_flat(2, vec![1.0, 2.0]);
-        let c = ApproxDpc::new(params).run(&single);
+        let c = ApproxDpc::new(params).run(&single, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 1);
 
         let two = Dataset::from_flat(2, vec![0.0, 0.0, 10.0, 10.0]);
-        let c = ApproxDpc::new(params).run(&two);
+        let c = ApproxDpc::new(params).run(&two, &thresholds).unwrap();
         assert_eq!(c.len(), 2);
         assert_eq!(c.num_clusters(), 2); // both isolated → both centres
     }
@@ -421,7 +434,8 @@ mod tests {
     #[test]
     fn index_bytes_accounts_for_grid_and_trees() {
         let data = uniform(500, 2, 50.0, 8);
-        let c = ApproxDpc::new(DpcParams::new(3.0)).run(&data);
-        assert!(c.index_bytes > ExDpc::new(DpcParams::new(3.0)).run(&data).index_bytes);
+        let approx = ApproxDpc::new(DpcParams::new(3.0)).fit(&data).unwrap();
+        let exact = ExDpc::new(DpcParams::new(3.0)).fit(&data).unwrap();
+        assert!(approx.index_bytes() > exact.index_bytes());
     }
 }

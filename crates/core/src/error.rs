@@ -1,0 +1,95 @@
+//! Error type for the fallible `fit → model → extract` pipeline.
+//!
+//! The seed API validated parameters with `assert!` and panicked on bad input,
+//! which is unusable for a long-running service: a single malformed request
+//! must not take the process down. Every validation failure is now a value of
+//! [`DpcError`], surfaced from `DpcAlgorithm::fit`, `Thresholds::new` or
+//! `DpcModel::from_parts`.
+
+use std::fmt;
+
+/// Everything that can go wrong when fitting a DPC model or building its
+/// inputs. All variants are cheap values — no allocation beyond the enum
+/// itself — so returning them from hot entry points costs nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DpcError {
+    /// A structural parameter (`d_cut`, `ε`, …) is outside its domain.
+    InvalidParams {
+        /// Which parameter was rejected.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable domain, e.g. `"must be positive and finite"`.
+        requirement: &'static str,
+    },
+    /// A threshold (`ρ_min`, `δ_min`) is outside its domain.
+    InvalidThresholds {
+        /// Which threshold was rejected.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable domain.
+        requirement: &'static str,
+    },
+    /// `fit` was called on a dataset with no points. There is nothing to
+    /// estimate densities from; callers that want "empty in, empty out" can
+    /// match on this variant explicitly.
+    EmptyDataset,
+    /// Per-point arrays passed to [`crate::DpcModel::from_parts`] disagree in
+    /// length, so they cannot describe the same dataset.
+    DimensionMismatch {
+        /// Which array had the wrong length.
+        what: &'static str,
+        /// Length of the reference (`rho`) array.
+        expected: usize,
+        /// Length actually provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpcError::InvalidParams { param, value, requirement } => {
+                write!(f, "invalid parameter {param} = {value}: {requirement}")
+            }
+            DpcError::InvalidThresholds { param, value, requirement } => {
+                write!(f, "invalid threshold {param} = {value}: {requirement}")
+            }
+            DpcError::EmptyDataset => write!(f, "cannot fit a DPC model on an empty dataset"),
+            DpcError::DimensionMismatch { what, expected, got } => {
+                write!(f, "per-point array `{what}` has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DpcError::InvalidParams {
+            param: "d_cut",
+            value: -1.0,
+            requirement: "must be positive and finite",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("d_cut") && msg.contains("-1"), "{msg}");
+
+        let e = DpcError::DimensionMismatch { what: "delta", expected: 10, got: 9 };
+        let msg = e.to_string();
+        assert!(msg.contains("delta") && msg.contains("10") && msg.contains('9'), "{msg}");
+
+        assert!(DpcError::EmptyDataset.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(DpcError::EmptyDataset);
+    }
+}

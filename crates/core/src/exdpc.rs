@@ -17,9 +17,11 @@ use dpc_geometry::Dataset;
 use dpc_index::KdTree;
 use dpc_parallel::Executor;
 
-use crate::framework::{descending_density_order, finalize, jittered_density};
+use crate::error::DpcError;
+use crate::framework::{descending_density_order, jittered_density};
+use crate::model::DpcModel;
 use crate::params::DpcParams;
-use crate::result::{Clustering, Timings};
+use crate::result::Timings;
 use crate::DpcAlgorithm;
 
 /// The exact DPC algorithm of §3.
@@ -29,7 +31,7 @@ pub struct ExDpc {
 }
 
 impl ExDpc {
-    /// Creates the algorithm with the given parameters.
+    /// Creates the algorithm with the given parameters (validated by `fit`).
     pub fn new(params: DpcParams) -> Self {
         Self { params }
     }
@@ -86,7 +88,11 @@ impl DpcAlgorithm for ExDpc {
         "Ex-DPC"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        if data.is_empty() {
+            return Err(DpcError::EmptyDataset);
+        }
         let mut timings = Timings::default();
 
         let start = Instant::now();
@@ -100,13 +106,22 @@ impl DpcAlgorithm for ExDpc {
         let (dependent, delta) = self.dependent_points(data, &rho);
         timings.delta_secs = start.elapsed().as_secs_f64();
 
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(
+            self.name(),
+            self.params.dcut,
+            rho,
+            delta,
+            dependent,
+            timings,
+            index_bytes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::Thresholds;
     use dpc_data::generators::{gaussian_blobs, uniform};
     use dpc_geometry::dist;
 
@@ -140,20 +155,20 @@ mod tests {
     #[test]
     fn matches_brute_force_on_random_data() {
         let data = uniform(400, 2, 100.0, 3);
-        let params = DpcParams::new(8.0).with_rho_min(2.0).with_delta_min(20.0);
-        let clustering = ExDpc::new(params).run(&data);
+        let params = DpcParams::new(8.0);
+        let model = ExDpc::new(params).fit(&data).unwrap();
         let (rho, delta, _) = brute_force(&data, &params);
         for i in 0..data.len() {
-            assert!((clustering.rho[i] - rho[i]).abs() < 1e-9, "ρ mismatch at {i}");
+            assert!((model.rho()[i] - rho[i]).abs() < 1e-9, "ρ mismatch at {i}");
             if delta[i].is_finite() {
                 assert!(
-                    (clustering.delta[i] - delta[i]).abs() < 1e-9,
+                    (model.delta()[i] - delta[i]).abs() < 1e-9,
                     "δ mismatch at {i}: {} vs {}",
-                    clustering.delta[i],
+                    model.delta()[i],
                     delta[i]
                 );
             } else {
-                assert!(clustering.delta[i].is_infinite());
+                assert!(model.delta()[i].is_infinite());
             }
         }
     }
@@ -161,28 +176,26 @@ mod tests {
     #[test]
     fn exactly_one_infinite_delta() {
         let data = uniform(300, 3, 50.0, 9);
-        let clustering = ExDpc::new(DpcParams::new(5.0)).run(&data);
-        let infinite = clustering.delta.iter().filter(|d| d.is_infinite()).count();
+        let model = ExDpc::new(DpcParams::new(5.0)).fit(&data).unwrap();
+        let infinite = model.delta().iter().filter(|d| d.is_infinite()).count();
         assert_eq!(infinite, 1);
         // And it belongs to the globally densest point.
         let densest = (0..data.len())
-            .max_by(|&a, &b| clustering.rho[a].partial_cmp(&clustering.rho[b]).unwrap())
+            .max_by(|&a, &b| model.rho()[a].partial_cmp(&model.rho()[b]).unwrap())
             .unwrap();
-        assert!(clustering.delta[densest].is_infinite());
-        assert_eq!(clustering.dependent[densest], densest);
+        assert!(model.delta()[densest].is_infinite());
+        assert_eq!(model.dependent()[densest], densest);
     }
 
     #[test]
     fn dependent_always_has_higher_density() {
         let data = gaussian_blobs(&[(0.0, 0.0), (60.0, 60.0)], 150, 3.0, 5);
-        let clustering = ExDpc::new(DpcParams::new(4.0)).run(&data);
+        let model = ExDpc::new(DpcParams::new(4.0)).fit(&data).unwrap();
         for i in 0..data.len() {
-            let dep = clustering.dependent[i];
+            let dep = model.dependent()[i];
             if dep != i {
-                assert!(clustering.rho[dep] > clustering.rho[i]);
-                assert!(
-                    (dist(data.point(i), data.point(dep)) - clustering.delta[i]).abs() < 1e-9
-                );
+                assert!(model.rho()[dep] > model.rho()[i]);
+                assert!((dist(data.point(i), data.point(dep)) - model.delta()[i]).abs() < 1e-9);
             }
         }
     }
@@ -191,8 +204,8 @@ mod tests {
     fn finds_well_separated_blobs() {
         let centers = [(0.0, 0.0), (100.0, 0.0), (50.0, 100.0)];
         let data = gaussian_blobs(&centers, 120, 2.5, 11);
-        let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(30.0);
-        let clustering = ExDpc::new(params).run(&data);
+        let thresholds = Thresholds::new(5.0, 30.0).unwrap();
+        let clustering = ExDpc::new(DpcParams::new(6.0)).run(&data, &thresholds).unwrap();
         assert_eq!(clustering.num_clusters(), 3);
         // Points generated from the same blob must share a label (excluding the
         // rare noise point).
@@ -207,11 +220,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_is_identical_to_sequential() {
+    fn parallel_fit_is_identical_to_sequential() {
         let data = uniform(600, 2, 100.0, 21);
-        let params = DpcParams::new(6.0).with_rho_min(1.0).with_delta_min(15.0);
-        let seq = ExDpc::new(params.with_threads(1)).run(&data);
-        let par = ExDpc::new(params.with_threads(4)).run(&data);
+        let params = DpcParams::new(6.0);
+        let thresholds = Thresholds::new(1.0, 15.0).unwrap();
+        let seq = ExDpc::new(params.with_threads(1)).run(&data, &thresholds).unwrap();
+        let par = ExDpc::new(params.with_threads(4)).run(&data, &thresholds).unwrap();
         assert_eq!(seq.rho, par.rho);
         assert_eq!(seq.delta, par.delta);
         assert_eq!(seq.assignment, par.assignment);
@@ -219,28 +233,35 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_single_point_inputs() {
+    fn empty_dataset_is_an_error_and_single_point_fits() {
         let params = DpcParams::new(1.0);
         let empty = Dataset::new(2);
-        let c = ExDpc::new(params).run(&empty);
-        assert!(c.is_empty());
-        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(ExDpc::new(params).fit(&empty).unwrap_err(), DpcError::EmptyDataset);
 
         let single = Dataset::from_flat(2, vec![3.0, 4.0]);
-        let c = ExDpc::new(params).run(&single);
-        assert_eq!(c.len(), 1);
+        let model = ExDpc::new(params).fit(&single).unwrap();
+        assert_eq!(model.len(), 1);
+        assert!(model.delta()[0].is_infinite());
+        let c = model.extract(&Thresholds::for_dcut(1.0));
         assert_eq!(c.num_clusters(), 1);
-        assert!(c.delta[0].is_infinite());
+    }
+
+    #[test]
+    fn invalid_dcut_is_an_error() {
+        let data = uniform(10, 2, 1.0, 1);
+        let err = ExDpc::new(DpcParams::new(-1.0)).fit(&data).unwrap_err();
+        assert!(matches!(err, DpcError::InvalidParams { param: "d_cut", .. }), "{err:?}");
     }
 
     #[test]
     fn identical_points_do_not_break_tie_handling() {
         let data = Dataset::from_flat(2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
-        let clustering = ExDpc::new(DpcParams::new(0.5)).run(&data);
+        let model = ExDpc::new(DpcParams::new(0.5)).fit(&data).unwrap();
         // All densities distinct thanks to the jitter, exactly one ∞ δ, all
         // other points have δ = 0 (their dependent point coincides).
-        assert_eq!(clustering.delta.iter().filter(|d| d.is_infinite()).count(), 1);
-        assert_eq!(clustering.delta.iter().filter(|d| **d == 0.0).count(), 3);
+        assert_eq!(model.delta().iter().filter(|d| d.is_infinite()).count(), 1);
+        assert_eq!(model.delta().iter().filter(|d| **d == 0.0).count(), 3);
+        let clustering = model.extract(&Thresholds::for_dcut(0.5));
         assert_eq!(clustering.num_clusters(), 1);
         assert!(clustering.assignment.iter().all(|&l| l == 0));
     }
@@ -248,9 +269,12 @@ mod tests {
     #[test]
     fn timings_and_index_bytes_are_populated() {
         let data = uniform(200, 2, 10.0, 2);
-        let clustering = ExDpc::new(DpcParams::new(1.0)).run(&data);
-        assert!(clustering.timings.rho_secs >= 0.0);
-        assert!(clustering.timings.delta_secs >= 0.0);
-        assert!(clustering.index_bytes > 0);
+        let model = ExDpc::new(DpcParams::new(1.0)).fit(&data).unwrap();
+        assert!(model.fit_timings().rho_secs >= 0.0);
+        assert!(model.fit_timings().delta_secs >= 0.0);
+        assert!(model.index_bytes() > 0);
+        let clustering = model.extract(&Thresholds::for_dcut(1.0));
+        assert!(clustering.timings.assign_secs >= 0.0);
+        assert_eq!(clustering.index_bytes, model.index_bytes());
     }
 }

@@ -1,8 +1,8 @@
 //! Steps shared by every DPC algorithm: density tie-breaking, centre/noise
 //! selection, and cluster-label propagation (§2.1 and §2.2, step 4).
 
-use crate::params::DpcParams;
-use crate::result::{Clustering, Timings, NOISE};
+use crate::params::Thresholds;
+use crate::result::NOISE;
 
 /// Adds a deterministic jitter in `(0, 1)` to an integer local density so that
 /// all densities are pairwise distinct, as the paper assumes for the
@@ -52,27 +52,38 @@ pub fn ascending_density_order(rho: &[f64]) -> Vec<usize> {
 /// * centre: non-noise and `δ ≥ δ_min` (Definition 5);
 /// * every other point receives the label of its dependent point (Definition 6).
 ///
+/// `order` must be the point identifiers in decreasing density order (as
+/// produced by [`descending_density_order`]). The caller supplies it so the
+/// sort happens **once per fitted model**, not once per threshold choice —
+/// this is what makes a threshold sweep over a `DpcModel` a pure `O(n)` pass.
+///
 /// Points are processed in decreasing density order, so a point's dependent
 /// point (which always has strictly higher density) is labelled first and the
-/// propagation is a single `O(n)` pass after the sort — the depth-first label
-/// propagation of §2.1 without recursion. If a point's dependent point is
-/// noise, the noise label propagates (the point is not reachable from any
-/// centre through non-noise points).
+/// propagation is a single `O(n)` pass — the depth-first label propagation of
+/// §2.1 without recursion. If a point's dependent point is noise, the noise
+/// label propagates (the point is not reachable from any centre through
+/// non-noise points).
 ///
 /// Returns `(centres, assignment)` where centres are listed in ascending id
 /// order and `assignment[i]` is the cluster index of point `i` (the cluster
 /// index is the rank of its centre in the centres list) or [`NOISE`].
 pub fn select_and_assign(
-    params: &DpcParams,
+    thresholds: &Thresholds,
     rho: &[f64],
     delta: &[f64],
     dependent: &[usize],
+    order: &[usize],
 ) -> (Vec<usize>, Vec<i64>) {
     let n = rho.len();
-    assert_eq!(delta.len(), n);
-    assert_eq!(dependent.len(), n);
+    // Hard asserts, not debug_assert: this is public API and a caller passing
+    // a stale `order` (e.g. from a model fitted on different data) must abort
+    // loudly instead of silently leaving the unvisited points as noise. The
+    // O(1) checks are free next to the O(n) pass below.
+    assert_eq!(delta.len(), n, "delta length must match rho");
+    assert_eq!(dependent.len(), n, "dependent length must match rho");
+    assert_eq!(order.len(), n, "density order length must match rho");
     let mut centers: Vec<usize> = (0..n)
-        .filter(|&i| rho[i] >= params.rho_min && delta[i] >= params.delta_min)
+        .filter(|&i| rho[i] >= thresholds.rho_min && delta[i] >= thresholds.delta_min)
         .collect();
     centers.sort_unstable();
     let mut center_rank = vec![usize::MAX; n];
@@ -81,8 +92,8 @@ pub fn select_and_assign(
     }
 
     let mut assignment = vec![NOISE; n];
-    for &i in &descending_density_order(rho) {
-        if rho[i] < params.rho_min {
+    for &i in order {
+        if rho[i] < thresholds.rho_min {
             assignment[i] = NOISE;
             continue;
         }
@@ -95,22 +106,6 @@ pub fn select_and_assign(
         assignment[i] = if dep == i { NOISE } else { assignment[dep] };
     }
     (centers, assignment)
-}
-
-/// Assembles a [`Clustering`] from the per-point quantities computed by an
-/// algorithm, running centre selection and label propagation (and timing it).
-pub fn finalize(
-    params: &DpcParams,
-    rho: Vec<f64>,
-    delta: Vec<f64>,
-    dependent: Vec<usize>,
-    mut timings: Timings,
-    index_bytes: usize,
-) -> Clustering {
-    let start = std::time::Instant::now();
-    let (centers, assignment) = select_and_assign(params, &rho, &delta, &dependent);
-    timings.assign_secs = start.elapsed().as_secs_f64();
-    Clustering { rho, delta, dependent, centers, assignment, timings, index_bytes }
 }
 
 #[cfg(test)]
@@ -147,19 +142,29 @@ mod tests {
 
     /// A small hand-built scenario: two centres, a chain of followers, one
     /// noise point, and a point attached to the noise point.
-    fn toy() -> (DpcParams, Vec<f64>, Vec<f64>, Vec<usize>) {
-        let params = DpcParams::new(1.0).with_rho_min(2.0).with_delta_min(5.0);
+    fn toy() -> (Thresholds, Vec<f64>, Vec<f64>, Vec<usize>) {
+        let thresholds = Thresholds::new(2.0, 5.0).unwrap();
         //            0     1     2     3     4     5
         let rho = vec![10.0, 8.0, 6.0, 1.0, 9.0, 0.5];
         let delta = vec![f64::INFINITY, 1.0, 1.0, 1.0, 6.0, 1.0];
         let dependent = vec![0, 0, 1, 5, 0, 4];
-        (params, rho, delta, dependent)
+        (thresholds, rho, delta, dependent)
+    }
+
+    fn run_toy(
+        thresholds: &Thresholds,
+        rho: &[f64],
+        delta: &[f64],
+        dependent: &[usize],
+    ) -> (Vec<usize>, Vec<i64>) {
+        let order = descending_density_order(rho);
+        select_and_assign(thresholds, rho, delta, dependent, &order)
     }
 
     #[test]
     fn select_and_assign_toy_case() {
-        let (params, rho, delta, dependent) = toy();
-        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        let (thresholds, rho, delta, dependent) = toy();
+        let (centers, assignment) = run_toy(&thresholds, &rho, &delta, &dependent);
         // Centres: 0 (δ = ∞) and 4 (δ = 6 ≥ 5). Point 3 and 5 are noise (ρ < 2).
         assert_eq!(centers, vec![0, 4]);
         assert_eq!(assignment[0], 0);
@@ -174,59 +179,41 @@ mod tests {
     fn labels_propagate_through_long_dependency_chains() {
         // A chain 9 → 8 → … → 0 where only point 9 is a centre: every point
         // must inherit cluster 0 through the chain in one pass.
-        let params = DpcParams::new(1.0).with_rho_min(0.0).with_delta_min(5.0);
+        let thresholds = Thresholds::new(0.0, 5.0).unwrap();
         let n = 10usize;
         let rho: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
         let mut delta = vec![1.0; n];
         delta[n - 1] = f64::INFINITY;
         let dependent: Vec<usize> = (0..n).map(|i| if i + 1 < n { i + 1 } else { i }).collect();
-        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        let (centers, assignment) = run_toy(&thresholds, &rho, &delta, &dependent);
         assert_eq!(centers, vec![n - 1]);
         assert!(assignment.iter().all(|&l| l == 0));
     }
 
     #[test]
     fn everything_noise_when_rho_min_is_huge() {
-        let params = DpcParams::new(1.0).with_rho_min(1e9).with_delta_min(2.0);
+        let thresholds = Thresholds::new(1e9, 2.0).unwrap();
         let rho = vec![1.0, 2.0, 3.0];
         let delta = vec![1.0, 1.0, f64::INFINITY];
         let dependent = vec![2, 2, 2];
-        let (centers, assignment) = select_and_assign(&params, &rho, &delta, &dependent);
+        let (centers, assignment) = run_toy(&thresholds, &rho, &delta, &dependent);
         assert!(centers.is_empty());
         assert!(assignment.iter().all(|&l| l == NOISE));
     }
 
     #[test]
     fn single_point_dataset() {
-        let params = DpcParams::new(1.0);
-        let (centers, assignment) =
-            select_and_assign(&params, &[0.5], &[f64::INFINITY], &[0]);
+        let thresholds = Thresholds::for_dcut(1.0);
+        let (centers, assignment) = run_toy(&thresholds, &[0.5], &[f64::INFINITY], &[0]);
         assert_eq!(centers, vec![0]);
         assert_eq!(assignment, vec![0]);
     }
 
     #[test]
     fn empty_input() {
-        let params = DpcParams::new(1.0);
-        let (centers, assignment) = select_and_assign(&params, &[], &[], &[]);
+        let thresholds = Thresholds::for_dcut(1.0);
+        let (centers, assignment) = run_toy(&thresholds, &[], &[], &[]);
         assert!(centers.is_empty());
         assert!(assignment.is_empty());
-    }
-
-    #[test]
-    fn finalize_populates_all_fields() {
-        let (params, rho, delta, dependent) = toy();
-        let clustering = finalize(
-            &params,
-            rho.clone(),
-            delta.clone(),
-            dependent.clone(),
-            Timings { rho_secs: 0.1, delta_secs: 0.2, assign_secs: 0.0 },
-            77,
-        );
-        assert_eq!(clustering.rho, rho);
-        assert_eq!(clustering.num_clusters(), 2);
-        assert_eq!(clustering.index_bytes, 77);
-        assert!(clustering.timings.assign_secs >= 0.0);
     }
 }

@@ -1,0 +1,243 @@
+//! The fitted DPC model: per-point densities and dependent points, reusable
+//! across any number of threshold choices.
+//!
+//! This type is the core of the fit-once / relabel-many redesign. The paper's
+//! central observation (§6.4, "interactive use") is that local densities `ρ`
+//! and dependent points/distances `δ` depend only on the cutoff distance
+//! `d_cut` — the thresholds `ρ_min`/`δ_min` drive nothing but the final `O(n)`
+//! centre-selection and label-propagation pass. A [`DpcModel`] freezes the
+//! expensive phases, so the interactive workflow the paper describes (read the
+//! decision graph, pick thresholds, relabel, repeat) costs `O(n)` per
+//! iteration instead of a full re-clustering.
+
+use std::time::Instant;
+
+use crate::error::DpcError;
+use crate::framework::{descending_density_order, select_and_assign};
+use crate::params::Thresholds;
+use crate::result::{Clustering, DecisionGraph, Timings};
+
+/// The output of `DpcAlgorithm::fit`: everything threshold-independent.
+///
+/// Owns the per-point `ρ`/`δ`/dependent arrays plus the fit timings and
+/// index-byte accounting, and precomputes the decreasing-density order once so
+/// every [`extract`](DpcModel::extract) is a pure `O(n)` pass.
+#[derive(Clone, Debug)]
+pub struct DpcModel {
+    algorithm: &'static str,
+    dcut: f64,
+    rho: Vec<f64>,
+    delta: Vec<f64>,
+    dependent: Vec<usize>,
+    /// Point ids in decreasing density order, computed once at construction.
+    order: Vec<usize>,
+    /// `rho_secs` and `delta_secs` of the fit; `assign_secs` is stamped by
+    /// every extraction.
+    fit_timings: Timings,
+    index_bytes: usize,
+}
+
+impl DpcModel {
+    /// Assembles a model from the per-point quantities computed by an
+    /// algorithm's fit phase. Sorts the density order once.
+    ///
+    /// Returns [`DpcError::DimensionMismatch`] when the arrays disagree in
+    /// length — they could not describe the same dataset.
+    pub fn from_parts(
+        algorithm: &'static str,
+        dcut: f64,
+        rho: Vec<f64>,
+        delta: Vec<f64>,
+        dependent: Vec<usize>,
+        fit_timings: Timings,
+        index_bytes: usize,
+    ) -> Result<Self, DpcError> {
+        let n = rho.len();
+        if delta.len() != n {
+            return Err(DpcError::DimensionMismatch {
+                what: "delta",
+                expected: n,
+                got: delta.len(),
+            });
+        }
+        if dependent.len() != n {
+            return Err(DpcError::DimensionMismatch {
+                what: "dependent",
+                expected: n,
+                got: dependent.len(),
+            });
+        }
+        let order = descending_density_order(&rho);
+        Ok(Self { algorithm, dcut, rho, delta, dependent, order, fit_timings, index_bytes })
+    }
+
+    /// Name of the algorithm that fitted this model.
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// The cutoff distance the model was fitted with.
+    pub fn dcut(&self) -> f64 {
+        self.dcut
+    }
+
+    /// Number of points in the fitted dataset.
+    pub fn len(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Whether the model covers zero points (never produced by `fit`, which
+    /// rejects empty datasets, but possible through [`DpcModel::from_parts`]).
+    pub fn is_empty(&self) -> bool {
+        self.rho.is_empty()
+    }
+
+    /// Local density `ρ_i` of every point.
+    pub fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Dependent distance `δ_i` of every point.
+    pub fn delta(&self) -> &[f64] {
+        &self.delta
+    }
+
+    /// Dependent point `q_i` of every point.
+    pub fn dependent(&self) -> &[usize] {
+        &self.dependent
+    }
+
+    /// Point ids in decreasing density order (computed once per model).
+    pub fn density_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Wall-clock of the fit phases (`assign_secs` is zero here; extraction
+    /// stamps it per call).
+    pub fn fit_timings(&self) -> Timings {
+        self.fit_timings
+    }
+
+    /// Approximate heap bytes of the index structures built during the fit.
+    pub fn index_bytes(&self) -> usize {
+        self.index_bytes
+    }
+
+    /// Builds the decision graph (the `⟨ρ_i, δ_i⟩` scatter of Figure 1) — the
+    /// artefact users read to choose [`Thresholds`].
+    pub fn decision_graph(&self) -> DecisionGraph {
+        DecisionGraph { points: self.rho.iter().copied().zip(self.delta.iter().copied()).collect() }
+    }
+
+    /// Selects centres and propagates labels for one threshold choice: a pure
+    /// `O(n)` pass over the frozen `ρ`/`δ` arrays — no index is rebuilt, no
+    /// density or dependent point is recomputed, and the density order is the
+    /// one precomputed at model construction.
+    pub fn extract(&self, thresholds: &Thresholds) -> Clustering {
+        let start = Instant::now();
+        let (centers, assignment) =
+            select_and_assign(thresholds, &self.rho, &self.delta, &self.dependent, &self.order);
+        let mut timings = self.fit_timings;
+        timings.assign_secs = start.elapsed().as_secs_f64();
+        Clustering {
+            rho: self.rho.clone(),
+            delta: self.delta.clone(),
+            dependent: self.dependent.clone(),
+            centers,
+            assignment,
+            timings,
+            index_bytes: self.index_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> DpcModel {
+        //            0     1     2     3     4     5
+        let rho = vec![10.0, 8.0, 6.0, 1.0, 9.0, 0.5];
+        let delta = vec![f64::INFINITY, 1.0, 1.0, 1.0, 6.0, 1.0];
+        let dependent = vec![0, 0, 1, 5, 0, 4];
+        DpcModel::from_parts(
+            "toy",
+            1.0,
+            rho,
+            delta,
+            dependent,
+            Timings { rho_secs: 0.1, delta_secs: 0.2, assign_secs: 0.0 },
+            77,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_and_order() {
+        let m = toy_model();
+        assert_eq!(m.algorithm(), "toy");
+        assert_eq!(m.dcut(), 1.0);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert_eq!(m.index_bytes(), 77);
+        assert_eq!(m.density_order(), &[0, 4, 1, 2, 3, 5]);
+        assert_eq!(m.decision_graph().len(), 6);
+    }
+
+    #[test]
+    fn extract_is_consistent_with_select_and_assign() {
+        let m = toy_model();
+        let t = Thresholds::new(2.0, 5.0).unwrap();
+        let c = m.extract(&t);
+        assert_eq!(c.centers, vec![0, 4]);
+        assert_eq!(c.assignment, vec![0, 0, 0, crate::NOISE, 1, crate::NOISE]);
+        assert_eq!(c.rho, m.rho());
+        assert_eq!(c.index_bytes, 77);
+        assert!((c.timings.rho_secs - 0.1).abs() < 1e-12);
+        assert!(c.timings.assign_secs >= 0.0);
+    }
+
+    #[test]
+    fn repeated_extraction_sweeps_thresholds_without_refitting() {
+        let m = toy_model();
+        // Raising δ_min monotonically prunes centres; the model is untouched.
+        // (ρ_min stays at 2.0: the toy's low-density points carry a deliberately
+        // bogus dependency to exercise noise propagation.)
+        let mut last_centers = usize::MAX;
+        for delta_min in [0.5, 5.0, 100.0] {
+            let c = m.extract(&Thresholds::new(2.0, delta_min).unwrap());
+            assert!(c.num_clusters() <= last_centers);
+            last_centers = c.num_clusters();
+        }
+        assert_eq!(last_centers, 1); // only the ∞-δ point survives any δ_min
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_arrays() {
+        let err = DpcModel::from_parts(
+            "toy",
+            1.0,
+            vec![1.0, 2.0],
+            vec![1.0],
+            vec![0, 1],
+            Timings::default(),
+            0,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DpcError::DimensionMismatch { what: "delta", expected: 2, got: 1 }),
+            "{err:?}"
+        );
+        let err = DpcModel::from_parts(
+            "toy",
+            1.0,
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![0],
+            Timings::default(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpcError::DimensionMismatch { what: "dependent", .. }), "{err:?}");
+    }
+}

@@ -1,22 +1,35 @@
-//! DPC parameters.
+//! Structural parameters (`DpcParams`) and extraction thresholds
+//! (`Thresholds`).
+//!
+//! The paper's framework needs four user-specified values: the cutoff distance
+//! `d_cut`, the noise threshold `ρ_min`, the centre threshold `δ_min`, and (for
+//! the parallel implementations) a thread count. The key structural fact —
+//! §6.4's interactive-use observation — is that `ρ` and `δ` depend only on
+//! `d_cut`, while `ρ_min`/`δ_min` drive nothing but the final `O(n)`
+//! centre-selection pass. The types mirror that split:
+//!
+//! * [`DpcParams`] holds what `fit` needs (`d_cut`, threads, jitter seed) and is
+//!   baked into the algorithm at construction;
+//! * [`Thresholds`] holds what `extract` needs (`ρ_min`, `δ_min`) and is passed
+//!   per extraction, so a fitted model can be re-thresholded for free.
+//!
+//! Neither constructor panics. `Thresholds::new` returns a
+//! [`DpcError`](crate::DpcError) for out-of-domain values, and `DpcParams` is
+//! validated by `fit` (via [`DpcParams::validate`]) — the former seed API
+//! validated `δ_min > d_cut` inside `with_delta_min`, which silently depended
+//! on the builder-call order; decoupling the two types removes that footgun
+//! outright (the `δ_min > d_cut` relation is a quality guarantee for the
+//! approximation algorithms, checked where both values meet: see
+//! [`Thresholds::satisfies_center_guarantee`]).
 
-/// Parameters shared by every DPC algorithm in the workspace.
-///
-/// The paper's framework needs three user-specified values — the cutoff
-/// distance `d_cut`, the noise threshold `ρ_min` and the centre threshold
-/// `δ_min` (with `δ_min > d_cut`, Definition 5) — plus, for the parallel
-/// implementations, the number of threads. `SApproxDpc` additionally takes its
-/// approximation parameter `ε` (see [`crate::SApproxDpc::with_epsilon`]).
+use crate::error::DpcError;
+
+/// Structural parameters shared by every DPC algorithm: everything the
+/// expensive `fit` phase depends on.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DpcParams {
     /// Cutoff distance `d_cut` of Definition 1.
     pub dcut: f64,
-    /// Noise threshold: points with `ρ < ρ_min` are noise (Definition 4).
-    pub rho_min: f64,
-    /// Centre threshold: non-noise points with `δ ≥ δ_min` become cluster
-    /// centres (Definition 5). Must be larger than `dcut` for the approximation
-    /// algorithms' centre guarantee (Theorem 4) to apply.
-    pub delta_min: f64,
     /// Number of worker threads used by the parallel phases.
     pub threads: usize,
     /// Seed of the deterministic tie-breaking jitter added to every local
@@ -26,40 +39,12 @@ pub struct DpcParams {
 }
 
 impl DpcParams {
-    /// Creates parameters with the given cutoff distance and conservative
-    /// defaults: `ρ_min = 0` (no noise), `δ_min = 2·d_cut`, one thread.
-    ///
-    /// # Panics
-    /// Panics unless `dcut` is strictly positive and finite.
+    /// Creates parameters with the given cutoff distance, one thread and the
+    /// default jitter seed. No validation happens here — `fit` validates and
+    /// returns [`DpcError::InvalidParams`] for a non-positive or non-finite
+    /// `d_cut`, so building parameters can never panic.
     pub fn new(dcut: f64) -> Self {
-        assert!(dcut.is_finite() && dcut > 0.0, "d_cut must be positive and finite, got {dcut}");
-        Self { dcut, rho_min: 0.0, delta_min: 2.0 * dcut, threads: 1, jitter_seed: 0x5eed }
-    }
-
-    /// Sets the noise threshold `ρ_min`.
-    ///
-    /// # Panics
-    /// Panics if `rho_min` is negative or not finite.
-    pub fn with_rho_min(mut self, rho_min: f64) -> Self {
-        assert!(rho_min.is_finite() && rho_min >= 0.0, "ρ_min must be non-negative and finite");
-        self.rho_min = rho_min;
-        self
-    }
-
-    /// Sets the centre threshold `δ_min`.
-    ///
-    /// # Panics
-    /// Panics if `delta_min` is not strictly greater than `d_cut` — Definition 5
-    /// requires `δ_min > d_cut`, and the approximation algorithms rely on it.
-    pub fn with_delta_min(mut self, delta_min: f64) -> Self {
-        assert!(
-            delta_min.is_finite() && delta_min > self.dcut,
-            "δ_min must be finite and greater than d_cut ({} given, d_cut = {})",
-            delta_min,
-            self.dcut
-        );
-        self.delta_min = delta_min;
-        self
+        Self { dcut, threads: 1, jitter_seed: 0x5eed }
     }
 
     /// Sets the number of worker threads (clamped to at least one).
@@ -73,6 +58,77 @@ impl DpcParams {
         self.jitter_seed = seed;
         self
     }
+
+    /// Checks the parameter domain: `d_cut` must be positive and finite.
+    /// Called by every algorithm's `fit`.
+    pub fn validate(&self) -> Result<(), DpcError> {
+        if !(self.dcut.is_finite() && self.dcut > 0.0) {
+            return Err(DpcError::InvalidParams {
+                param: "d_cut",
+                value: self.dcut,
+                requirement: "must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Extraction thresholds: the two values that turn a fitted
+/// [`DpcModel`](crate::DpcModel) into a concrete clustering.
+///
+/// * noise: `ρ < ρ_min` (Definition 4);
+/// * centre: non-noise and `δ ≥ δ_min` (Definition 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// Noise threshold: points with `ρ < ρ_min` are noise.
+    pub rho_min: f64,
+    /// Centre threshold: non-noise points with `δ ≥ δ_min` become centres.
+    pub delta_min: f64,
+}
+
+impl Thresholds {
+    /// Creates validated thresholds: `ρ_min` must be finite and non-negative,
+    /// `δ_min` must be positive and finite.
+    pub fn new(rho_min: f64, delta_min: f64) -> Result<Self, DpcError> {
+        if !(rho_min.is_finite() && rho_min >= 0.0) {
+            return Err(DpcError::InvalidThresholds {
+                param: "rho_min",
+                value: rho_min,
+                requirement: "must be non-negative and finite",
+            });
+        }
+        if !(delta_min.is_finite() && delta_min > 0.0) {
+            return Err(DpcError::InvalidThresholds {
+                param: "delta_min",
+                value: delta_min,
+                requirement: "must be positive and finite",
+            });
+        }
+        Ok(Self { rho_min, delta_min })
+    }
+
+    /// The seed API's default thresholds for a cutoff distance: no noise
+    /// (`ρ_min = 0`) and `δ_min = 2·d_cut` (comfortably above the
+    /// `δ_min > d_cut` requirement of Definition 5).
+    ///
+    /// Infallible for *any* input: a non-finite or non-positive `dcut`
+    /// (which [`DpcParams::validate`] would reject anyway) is clamped so the
+    /// returned `δ_min` is always positive and finite — `for_dcut` can never
+    /// manufacture thresholds that [`Thresholds::new`] would refuse.
+    // Not `.clamp(..)`: clamp propagates NaN, while `NaN.max(x)` returns `x`
+    // — the max/min chain is what maps a NaN d_cut to a valid δ_min.
+    #[allow(clippy::manual_clamp)]
+    pub fn for_dcut(dcut: f64) -> Self {
+        Self { rho_min: 0.0, delta_min: (2.0 * dcut).max(f64::MIN_POSITIVE).min(f64::MAX) }
+    }
+
+    /// Whether `δ_min > d_cut` holds — the precondition of Theorem 4 under
+    /// which Approx-DPC and S-Approx-DPC select exactly the centres of the
+    /// exact algorithm. Extraction works either way; this is the advisory
+    /// check interactive frontends should surface.
+    pub fn satisfies_center_guarantee(&self, dcut: f64) -> bool {
+        self.delta_min > dcut
+    }
 }
 
 #[cfg(test)]
@@ -80,23 +136,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_sensible() {
+    fn params_defaults_are_sensible() {
         let p = DpcParams::new(5.0);
         assert_eq!(p.dcut, 5.0);
-        assert_eq!(p.rho_min, 0.0);
-        assert_eq!(p.delta_min, 10.0);
         assert_eq!(p.threads, 1);
+        assert!(p.validate().is_ok());
     }
 
     #[test]
-    fn builder_chain() {
-        let p = DpcParams::new(2.0)
-            .with_rho_min(10.0)
-            .with_delta_min(50.0)
-            .with_threads(8)
-            .with_jitter_seed(99);
-        assert_eq!(p.rho_min, 10.0);
-        assert_eq!(p.delta_min, 50.0);
+    fn params_builder_chain() {
+        let p = DpcParams::new(2.0).with_threads(8).with_jitter_seed(99);
         assert_eq!(p.threads, 8);
         assert_eq!(p.jitter_seed, 99);
     }
@@ -107,26 +156,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "d_cut must be positive")]
-    fn zero_dcut_rejected() {
-        let _ = DpcParams::new(0.0);
+    fn invalid_dcut_is_an_error_not_a_panic() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = DpcParams::new(bad).validate().unwrap_err();
+            assert!(
+                matches!(err, DpcError::InvalidParams { param: "d_cut", .. }),
+                "{bad}: {err:?}"
+            );
+        }
     }
 
     #[test]
-    #[should_panic(expected = "d_cut must be positive")]
-    fn nan_dcut_rejected() {
-        let _ = DpcParams::new(f64::NAN);
+    fn thresholds_validate_their_domain() {
+        assert!(Thresholds::new(0.0, 1.0).is_ok());
+        assert!(Thresholds::new(10.0, 0.5).is_ok());
+        for (rho, delta) in [(-1.0, 1.0), (f64::NAN, 1.0), (f64::INFINITY, 1.0)] {
+            let err = Thresholds::new(rho, delta).unwrap_err();
+            assert!(matches!(err, DpcError::InvalidThresholds { param: "rho_min", .. }), "{err:?}");
+        }
+        for (rho, delta) in [(0.0, 0.0), (0.0, -2.0), (0.0, f64::NAN), (0.0, f64::INFINITY)] {
+            let err = Thresholds::new(rho, delta).unwrap_err();
+            assert!(
+                matches!(err, DpcError::InvalidThresholds { param: "delta_min", .. }),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]
-    #[should_panic(expected = "greater than d_cut")]
-    fn delta_min_must_exceed_dcut() {
-        let _ = DpcParams::new(10.0).with_delta_min(5.0);
+    fn for_dcut_matches_the_seed_defaults() {
+        let t = Thresholds::for_dcut(5.0);
+        assert_eq!(t.rho_min, 0.0);
+        assert_eq!(t.delta_min, 10.0);
+        assert!(t.satisfies_center_guarantee(5.0));
+        assert!(!Thresholds { rho_min: 0.0, delta_min: 4.0 }.satisfies_center_guarantee(5.0));
     }
 
     #[test]
-    #[should_panic(expected = "ρ_min")]
-    fn negative_rho_min_rejected() {
-        let _ = DpcParams::new(1.0).with_rho_min(-1.0);
+    fn for_dcut_never_produces_invalid_thresholds() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -7.0] {
+            let t = Thresholds::for_dcut(bad);
+            assert!(
+                Thresholds::new(t.rho_min, t.delta_min).is_ok(),
+                "for_dcut({bad}) produced {t:?}, which Thresholds::new rejects"
+            );
+        }
+    }
+
+    /// The seed API's `with_delta_min` validated against `self.dcut` at call
+    /// time, so `new(10.0).with_delta_min(5.0)` panicked while a later
+    /// `with_dcut`-style mutation would have silently changed which values
+    /// were accepted. With thresholds decoupled from `d_cut`, the same value
+    /// is accepted or rejected independent of any construction order.
+    #[test]
+    fn no_construction_order_footgun() {
+        let a = Thresholds::new(0.0, 5.0).unwrap();
+        let b = Thresholds::new(0.0, 5.0).unwrap();
+        assert_eq!(a, b);
+        // The d_cut relation is an explicit, side-effect-free query instead.
+        assert!(a.satisfies_center_guarantee(1.0));
+        assert!(!a.satisfies_center_guarantee(10.0));
     }
 }

@@ -84,9 +84,7 @@ impl Clustering {
 
     /// Builds the decision graph (the `⟨ρ_i, δ_i⟩` scatter of Figure 1).
     pub fn decision_graph(&self) -> DecisionGraph {
-        DecisionGraph {
-            points: self.rho.iter().copied().zip(self.delta.iter().copied()).collect(),
-        }
+        DecisionGraph { points: self.rho.iter().copied().zip(self.delta.iter().copied()).collect() }
     }
 }
 
@@ -146,12 +144,8 @@ impl DecisionGraph {
     /// The points sorted by decreasing dependent distance — the order in which
     /// candidate centres appear when reading the graph top-down.
     pub fn by_decreasing_delta(&self) -> Vec<(usize, f64, f64)> {
-        let mut rows: Vec<(usize, f64, f64)> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(i, &(rho, delta))| (i, rho, delta))
-            .collect();
+        let mut rows: Vec<(usize, f64, f64)> =
+            self.points.iter().enumerate().map(|(i, &(rho, delta))| (i, rho, delta)).collect();
         rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         rows
     }

@@ -27,9 +27,11 @@ use dpc_geometry::{dist, Dataset};
 use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
-use crate::framework::{finalize, jittered_density};
+use crate::error::DpcError;
+use crate::framework::jittered_density;
+use crate::model::DpcModel;
 use crate::params::DpcParams;
-use crate::result::{Clustering, Timings};
+use crate::result::Timings;
 use crate::DpcAlgorithm;
 
 /// The S-Approx-DPC algorithm of §5.
@@ -48,12 +50,9 @@ impl SApproxDpc {
 
     /// Sets the approximation parameter `ε > 0`. Smaller values create more
     /// cells (more accurate, slower); larger values create fewer cells (faster,
-    /// coarser).
-    ///
-    /// # Panics
-    /// Panics unless `epsilon` is strictly positive and finite.
+    /// coarser). Validated by `fit`, which returns
+    /// [`DpcError::InvalidParams`] for a non-positive or non-finite value.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon > 0.0, "ε must be positive and finite, got {epsilon}");
         self.epsilon = epsilon;
         self
     }
@@ -84,12 +83,20 @@ impl DpcAlgorithm for SApproxDpc {
         "S-Approx-DPC"
     }
 
-    fn run(&self, data: &Dataset) -> Clustering {
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(DpcError::InvalidParams {
+                param: "epsilon",
+                value: self.epsilon,
+                requirement: "must be positive and finite",
+            });
+        }
         let executor = Executor::new(self.params.threads);
         let mut timings = Timings::default();
         let n = data.len();
         if n == 0 {
-            return finalize(&self.params, vec![], vec![], vec![], timings, 0);
+            return Err(DpcError::EmptyDataset);
         }
         let dcut = self.params.dcut;
         let seed = self.params.jitter_seed;
@@ -109,11 +116,8 @@ impl DpcAlgorithm for SApproxDpc {
             let picked = grid.points(cell)[0];
             let result = tree.range_search(data.point(picked), dcut);
             let count = result.iter().filter(|&&q| q != picked).count();
-            let mut neighbors: Vec<usize> = result
-                .iter()
-                .map(|&q| grid.cell_of(q))
-                .filter(|&c2| c2 != cell)
-                .collect();
+            let mut neighbors: Vec<usize> =
+                result.iter().map(|&q| grid.cell_of(q)).filter(|&c2| c2 != cell).collect();
             neighbors.sort_unstable();
             neighbors.dedup();
             PickedCell { picked, rho: jittered_density(count, picked, seed), neighbors }
@@ -170,7 +174,7 @@ impl DpcAlgorithm for SApproxDpc {
                     let other = &picked_cells[c2];
                     if other.rho > me.rho {
                         let d = dist(data.point(me.picked), data.point(other.picked));
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((other.picked, d));
                         }
                     }
@@ -244,51 +248,50 @@ impl DpcAlgorithm for SApproxDpc {
             // density peaks of their neighbourhoods).
             // Step 4: scan only the temporary clusters that the triangle
             // inequality cannot rule out.
-            let resolved: Vec<Option<(usize, f64)>> =
-                executor.map_dynamic(residual.len(), |ri| {
-                    let me_ci = residual[ri];
-                    let me = &picked_cells[me_ci];
-                    let my_coords = data.point(me.picked);
-                    // Step 3: p' among residual roots with higher density.
-                    let mut bound: Option<(usize, f64)> = None;
-                    for (rj, &cj) in residual.iter().enumerate() {
-                        if rj == ri {
+            let resolved: Vec<Option<(usize, f64)>> = executor.map_dynamic(residual.len(), |ri| {
+                let me_ci = residual[ri];
+                let me = &picked_cells[me_ci];
+                let my_coords = data.point(me.picked);
+                // Step 3: p' among residual roots with higher density.
+                let mut bound: Option<(usize, f64)> = None;
+                for (rj, &cj) in residual.iter().enumerate() {
+                    if rj == ri {
+                        continue;
+                    }
+                    let other = &picked_cells[cj];
+                    if other.rho > me.rho {
+                        let d = dist(my_coords, data.point(other.picked));
+                        if bound.is_none_or(|(_, bd)| d < bd) {
+                            bound = Some((other.picked, d));
+                        }
+                    }
+                }
+                let mut best = bound;
+                // Step 4: refine by scanning non-prunable temporary clusters.
+                for (rk, &ck) in residual.iter().enumerate() {
+                    let root = &picked_cells[ck];
+                    let d_root = dist(my_coords, data.point(root.picked));
+                    let prune_dist = best.map(|(_, bd)| bd).unwrap_or(f64::INFINITY);
+                    if root.rho <= me.rho && rk != ri {
+                        continue;
+                    }
+                    if d_root - radius[rk] > prune_dist {
+                        continue;
+                    }
+                    for (cj, pc) in picked_cells.iter().enumerate() {
+                        if root_of[cj] != rk {
                             continue;
                         }
-                        let other = &picked_cells[cj];
-                        if other.rho > me.rho {
-                            let d = dist(my_coords, data.point(other.picked));
-                            if bound.map_or(true, |(_, bd)| d < bd) {
-                                bound = Some((other.picked, d));
+                        if pc.rho > me.rho {
+                            let d = dist(my_coords, data.point(pc.picked));
+                            if best.is_none_or(|(_, bd)| d < bd) {
+                                best = Some((pc.picked, d));
                             }
                         }
                     }
-                    let mut best = bound;
-                    // Step 4: refine by scanning non-prunable temporary clusters.
-                    for (rk, &ck) in residual.iter().enumerate() {
-                        let root = &picked_cells[ck];
-                        let d_root = dist(my_coords, data.point(root.picked));
-                        let prune_dist = best.map(|(_, bd)| bd).unwrap_or(f64::INFINITY);
-                        if root.rho <= me.rho && rk != ri {
-                            continue;
-                        }
-                        if d_root - radius[rk] > prune_dist {
-                            continue;
-                        }
-                        for (cj, pc) in picked_cells.iter().enumerate() {
-                            if root_of[cj] != rk {
-                                continue;
-                            }
-                            if pc.rho > me.rho {
-                                let d = dist(my_coords, data.point(pc.picked));
-                                if best.map_or(true, |(_, bd)| d < bd) {
-                                    best = Some((pc.picked, d));
-                                }
-                            }
-                        }
-                    }
-                    best
-                });
+                }
+                best
+            });
             for (ri, found) in resolved.into_iter().enumerate() {
                 let me = picked_cells[residual[ri]].picked;
                 if let Some((q, d)) = found {
@@ -300,26 +303,28 @@ impl DpcAlgorithm for SApproxDpc {
         }
         timings.delta_secs = start.elapsed().as_secs_f64();
 
-        finalize(&self.params, rho, delta, dependent, timings, index_bytes)
+        DpcModel::from_parts(self.name(), dcut, rho, delta, dependent, timings, index_bytes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::Thresholds;
+    use crate::result::Clustering;
     use crate::{ApproxDpc, ExDpc};
     use dpc_data::generators::{gaussian_blobs, random_walk, uniform};
 
     #[test]
     fn dependents_point_to_strictly_higher_density() {
         let data = uniform(800, 2, 100.0, 5);
-        let c = SApproxDpc::new(DpcParams::new(6.0)).with_epsilon(0.5).run(&data);
+        let m = SApproxDpc::new(DpcParams::new(6.0)).with_epsilon(0.5).fit(&data).unwrap();
         for i in 0..data.len() {
-            let dep = c.dependent[i];
+            let dep = m.dependent()[i];
             if dep != i {
-                assert!(c.rho[dep] > c.rho[i], "point {i} depends on a lower-density point");
+                assert!(m.rho()[dep] > m.rho()[i], "point {i} depends on a lower-density point");
             } else {
-                assert!(c.delta[i].is_infinite());
+                assert!(m.delta()[i].is_infinite());
             }
         }
     }
@@ -328,9 +333,10 @@ mod tests {
     fn recovers_well_separated_blobs() {
         let centers = [(0.0, 0.0), (120.0, 0.0), (60.0, 120.0)];
         let data = gaussian_blobs(&centers, 300, 3.0, 13);
-        let params = DpcParams::new(8.0).with_rho_min(5.0).with_delta_min(40.0);
+        let params = DpcParams::new(8.0);
+        let thresholds = Thresholds::new(5.0, 40.0).unwrap();
         for eps in [0.2, 0.5, 1.0] {
-            let c = SApproxDpc::new(params).with_epsilon(eps).run(&data);
+            let c = SApproxDpc::new(params).with_epsilon(eps).run(&data, &thresholds).unwrap();
             assert_eq!(c.num_clusters(), 3, "ε = {eps}");
             for blob in 0..3 {
                 let labels: Vec<i64> = (blob * 300..(blob + 1) * 300)
@@ -345,16 +351,13 @@ mod tests {
     #[test]
     fn smaller_epsilon_means_more_range_searches_and_better_agreement() {
         let data = random_walk(4_000, 6, 1e4, 9);
-        let params = DpcParams::new(60.0).with_rho_min(3.0).with_delta_min(200.0);
-        let exact = ExDpc::new(params).run(&data);
-        let fine = SApproxDpc::new(params).with_epsilon(0.2).run(&data);
-        let coarse = SApproxDpc::new(params).with_epsilon(1.0).run(&data);
+        let params = DpcParams::new(60.0);
+        let thresholds = Thresholds::new(3.0, 200.0).unwrap();
+        let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
+        let fine = SApproxDpc::new(params).with_epsilon(0.2).run(&data, &thresholds).unwrap();
+        let coarse = SApproxDpc::new(params).with_epsilon(1.0).run(&data, &thresholds).unwrap();
         let agreement = |c: &Clustering| {
-            c.assignment
-                .iter()
-                .zip(exact.assignment.iter())
-                .filter(|(a, b)| a == b)
-                .count() as f64
+            c.assignment.iter().zip(exact.assignment.iter()).filter(|(a, b)| a == b).count() as f64
                 / data.len() as f64
         };
         // Pair-counting agreement is evaluated properly by dpc-eval's Rand
@@ -367,9 +370,11 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let data = random_walk(2_000, 4, 1e4, 3);
-        let params = DpcParams::new(80.0).with_rho_min(2.0).with_delta_min(300.0);
-        let seq = SApproxDpc::new(params.with_threads(1)).with_epsilon(0.6).run(&data);
-        let par = SApproxDpc::new(params.with_threads(4)).with_epsilon(0.6).run(&data);
+        let params = DpcParams::new(80.0);
+        let thresholds = Thresholds::new(2.0, 300.0).unwrap();
+        let seq = SApproxDpc::new(params.with_threads(1)).with_epsilon(0.6).run(&data, &thresholds);
+        let par = SApproxDpc::new(params.with_threads(4)).with_epsilon(0.6).run(&data, &thresholds);
+        let (seq, par) = (seq.unwrap(), par.unwrap());
         assert_eq!(seq.rho, par.rho);
         assert_eq!(seq.delta, par.delta);
         assert_eq!(seq.dependent, par.dependent);
@@ -380,9 +385,10 @@ mod tests {
     fn approx_and_sapprox_select_similar_centres_on_clean_data() {
         let centers = [(0.0, 0.0), (200.0, 200.0)];
         let data = gaussian_blobs(&centers, 400, 5.0, 21);
-        let params = DpcParams::new(10.0).with_rho_min(5.0).with_delta_min(60.0);
-        let a = ApproxDpc::new(params).run(&data);
-        let s = SApproxDpc::new(params).with_epsilon(0.4).run(&data);
+        let params = DpcParams::new(10.0);
+        let thresholds = Thresholds::new(5.0, 60.0).unwrap();
+        let a = ApproxDpc::new(params).run(&data, &thresholds).unwrap();
+        let s = SApproxDpc::new(params).with_epsilon(0.4).run(&data, &thresholds).unwrap();
         assert_eq!(a.num_clusters(), 2);
         assert_eq!(s.num_clusters(), 2);
     }
@@ -390,30 +396,41 @@ mod tests {
     #[test]
     fn empty_single_and_degenerate_inputs() {
         let params = DpcParams::new(1.0);
-        assert!(SApproxDpc::new(params).run(&Dataset::new(3)).is_empty());
+        assert_eq!(
+            SApproxDpc::new(params).fit(&Dataset::new(3)).unwrap_err(),
+            DpcError::EmptyDataset
+        );
 
+        let thresholds = Thresholds::for_dcut(1.0);
         let single = Dataset::from_flat(3, vec![1.0, 2.0, 3.0]);
-        let c = SApproxDpc::new(params).run(&single);
+        let c = SApproxDpc::new(params).run(&single, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 1);
 
         // All points identical: one cell, one picked point, everything in one
         // cluster.
         let same = Dataset::from_flat(2, vec![5.0; 20]);
-        let c = SApproxDpc::new(params).with_epsilon(0.5).run(&same);
+        let c = SApproxDpc::new(params).with_epsilon(0.5).run(&same, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 1);
         assert!(c.assignment.iter().all(|&l| l == 0));
     }
 
     #[test]
-    #[should_panic(expected = "ε must be positive")]
-    fn zero_epsilon_rejected() {
-        let _ = SApproxDpc::new(DpcParams::new(1.0)).with_epsilon(0.0);
+    fn invalid_epsilon_is_an_error_not_a_panic() {
+        let data = uniform(20, 2, 10.0, 1);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err =
+                SApproxDpc::new(DpcParams::new(1.0)).with_epsilon(bad).fit(&data).unwrap_err();
+            assert!(
+                matches!(err, DpcError::InvalidParams { param: "epsilon", .. }),
+                "{bad}: {err:?}"
+            );
+        }
     }
 
     #[test]
     fn exactly_one_infinite_delta_among_picked_points() {
         let data = uniform(500, 2, 80.0, 33);
-        let c = SApproxDpc::new(DpcParams::new(5.0)).with_epsilon(0.8).run(&data);
-        assert_eq!(c.delta.iter().filter(|d| d.is_infinite()).count(), 1);
+        let m = SApproxDpc::new(DpcParams::new(5.0)).with_epsilon(0.8).fit(&data).unwrap();
+        assert_eq!(m.delta().iter().filter(|d| d.is_infinite()).count(), 1);
     }
 }

@@ -11,18 +11,14 @@
 //!   robustness (Table 2).
 
 use dpc_geometry::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dpc_rng::StdRng;
 
 /// Draws one standard-normal sample with the Box–Muller transform.
 ///
-/// Implemented locally to keep the dependency set to `rand` alone (the paper's
-/// generators only need Gaussian and uniform variates).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+/// Thin alias over [`StdRng::gen_standard_normal`], kept as a free function
+/// because the generator call sites read naturally with it.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    rng.gen_standard_normal()
 }
 
 /// Generates `n` points uniformly distributed over `[0, domain]^dim`.
@@ -47,7 +43,10 @@ pub fn gaussian_blobs(centers: &[(f64, f64)], per_blob: usize, std_dev: f64, see
     let mut ds = Dataset::with_capacity(2, centers.len() * per_blob);
     for &(cx, cy) in centers {
         for _ in 0..per_blob {
-            ds.push(&[cx + std_dev * standard_normal(&mut rng), cy + std_dev * standard_normal(&mut rng)]);
+            ds.push(&[
+                cx + std_dev * standard_normal(&mut rng),
+                cy + std_dev * standard_normal(&mut rng),
+            ]);
         }
     }
     ds
@@ -134,10 +133,8 @@ pub fn s_set(level: u8, n: usize, seed: u64) -> Dataset {
         let gy = (i / 4) as f64;
         let jitter_x = rng.gen_range(-0.05..0.05) * DOMAIN;
         let jitter_y = rng.gen_range(-0.05..0.05) * DOMAIN;
-        centers.push((
-            (0.15 + 0.23 * gx) * DOMAIN + jitter_x,
-            (0.15 + 0.23 * gy) * DOMAIN + jitter_y,
-        ));
+        centers
+            .push(((0.15 + 0.23 * gx) * DOMAIN + jitter_x, (0.15 + 0.23 * gy) * DOMAIN + jitter_y));
     }
     // Spread grows with the level; S4 clusters overlap heavily.
     let std_dev = match level {
@@ -190,10 +187,8 @@ mod tests {
         let ds = gaussian_blobs(&[(0.0, 0.0), (100.0, 100.0)], 200, 1.0, 11);
         assert_eq!(ds.len(), 400);
         // Points from the first blob are much closer to (0,0) than to (100,100).
-        let near_origin = ds
-            .iter()
-            .filter(|(_, p)| dpc_geometry::dist(p, &[0.0, 0.0]) < 10.0)
-            .count();
+        let near_origin =
+            ds.iter().filter(|(_, p)| dpc_geometry::dist(p, &[0.0, 0.0]) < 10.0).count();
         assert!(near_origin >= 195, "expected ~200 points near the origin, got {near_origin}");
     }
 

@@ -50,10 +50,8 @@ pub fn read_points<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let coords = parse_line(trimmed).map_err(|message| IoError::Parse {
-            line: lineno + 1,
-            message,
-        })?;
+        let coords =
+            parse_line(trimmed).map_err(|message| IoError::Parse { line: lineno + 1, message })?;
         match dataset.as_mut() {
             None => dataset = Some(Dataset::from_flat(coords.len(), coords)),
             Some(ds) => {

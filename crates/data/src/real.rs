@@ -19,8 +19,7 @@
 //! the paper's full sizes via [`RealDataset::generate_with`].
 
 use dpc_geometry::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dpc_rng::StdRng;
 
 use crate::generators::standard_normal;
 
@@ -133,11 +132,7 @@ impl RealDataset {
         let mut weights: Vec<f64> = Vec::with_capacity(modes);
         for m in 0..modes {
             centers.push((0..dim).map(|_| rng.gen_range(0.08 * domain..0.92 * domain)).collect());
-            scales.push(
-                (0..dim)
-                    .map(|_| domain * rng.gen_range(0.002..0.02))
-                    .collect(),
-            );
+            scales.push((0..dim).map(|_| domain * rng.gen_range(0.002..0.02)).collect());
             weights.push(1.0 / (m as f64 + 1.0));
         }
         let weight_sum: f64 = weights.iter().sum();
@@ -157,7 +152,7 @@ impl RealDataset {
 
         let mut row = vec![0.0; dim];
         for _ in 0..mode_n {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             let m = cumulative.iter().position(|&c| u <= c).unwrap_or(modes - 1);
             for i in 0..dim {
                 row[i] =
@@ -167,13 +162,11 @@ impl RealDataset {
         }
 
         // Streaks: start near a random mode centre and drift.
-        let streak_len = 200usize.max(1);
+        let streak_len = 200usize;
         let mut remaining = streak_n;
         while remaining > 0 {
             let m = rng.gen_range(0..modes);
-            for i in 0..dim {
-                row[i] = centers[m][i];
-            }
+            row.copy_from_slice(&centers[m]);
             let steps = streak_len.min(remaining);
             for _ in 0..steps {
                 for (i, value) in row.iter_mut().enumerate() {

@@ -2,9 +2,7 @@
 //! and uniform sampling (Figure 7, "impact of cardinality").
 
 use dpc_geometry::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dpc_rng::StdRng;
 
 /// Adds uniformly distributed noise points to a dataset.
 ///
@@ -50,7 +48,7 @@ pub fn sample_rate(data: &Dataset, rate: f64, seed: u64) -> Dataset {
     let keep = ((data.len() as f64) * rate).round() as usize;
     let mut ids: Vec<usize> = (0..data.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     ids.truncate(keep);
     ids.sort_unstable();
     data.select(&ids)

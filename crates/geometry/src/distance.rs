@@ -129,12 +129,7 @@ mod tests {
 
     #[test]
     fn triangle_inequality_holds_on_samples() {
-        let pts = [
-            vec![0.0, 0.0],
-            vec![1.0, 3.0],
-            vec![-2.5, 4.0],
-            vec![7.0, -1.0],
-        ];
+        let pts = [vec![0.0, 0.0], vec![1.0, 3.0], vec![-2.5, 4.0], vec![7.0, -1.0]];
         for a in &pts {
             for b in &pts {
                 for c in &pts {

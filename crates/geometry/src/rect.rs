@@ -119,9 +119,7 @@ impl Rect {
     /// Whether the rectangle contains the coordinate (closed on all faces).
     pub fn contains(&self, p: &[f64]) -> bool {
         debug_assert_eq!(p.len(), self.dim());
-        p.iter()
-            .zip(self.lo.iter().zip(self.hi.iter()))
-            .all(|(&c, (&lo, &hi))| c >= lo && c <= hi)
+        p.iter().zip(self.lo.iter().zip(self.hi.iter())).all(|(&c, (&lo, &hi))| c >= lo && c <= hi)
     }
 
     /// Whether two rectangles intersect (closed).
@@ -148,30 +146,20 @@ impl Rect {
     /// The smallest rectangle covering both `self` and `other`.
     pub fn union(&self, other: &Rect) -> Rect {
         debug_assert_eq!(self.dim(), other.dim());
-        let lo = self
-            .lo
-            .iter()
-            .zip(other.lo.iter())
-            .map(|(a, b)| a.min(*b))
-            .collect::<Vec<_>>();
-        let hi = self
-            .hi
-            .iter()
-            .zip(other.hi.iter())
-            .map(|(a, b)| a.max(*b))
-            .collect::<Vec<_>>();
+        let lo = self.lo.iter().zip(other.lo.iter()).map(|(a, b)| a.min(*b)).collect::<Vec<_>>();
+        let hi = self.hi.iter().zip(other.hi.iter()).map(|(a, b)| a.max(*b)).collect::<Vec<_>>();
         Rect::new(lo, hi)
     }
 
     /// Grows the rectangle in place so that it covers `p`.
     pub fn expand_to(&mut self, p: &[f64]) {
         debug_assert_eq!(p.len(), self.dim());
-        for i in 0..p.len() {
-            if p[i] < self.lo[i] {
-                self.lo[i] = p[i];
+        for (i, &c) in p.iter().enumerate() {
+            if c < self.lo[i] {
+                self.lo[i] = c;
             }
-            if p[i] > self.hi[i] {
-                self.hi[i] = p[i];
+            if c > self.hi[i] {
+                self.hi[i] = c;
             }
         }
     }

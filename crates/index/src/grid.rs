@@ -204,8 +204,7 @@ impl Grid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dpc_rng::StdRng;
 
     fn square_dataset() -> Dataset {
         // Nine points on a 3×3 lattice with spacing 10.

@@ -42,11 +42,7 @@ impl<'a> KdTree<'a> {
     /// splitting (split axis cycles through the dimensions).
     pub fn build(data: &'a Dataset) -> Self {
         let mut ids: Vec<u32> = (0..data.len() as u32).collect();
-        let mut tree = Self {
-            data,
-            nodes: Vec::with_capacity(data.len()),
-            root: NONE,
-        };
+        let mut tree = Self { data, nodes: Vec::with_capacity(data.len()), root: NONE };
         if !ids.is_empty() {
             tree.root = tree.build_rec(&mut ids, 0);
         }
@@ -59,11 +55,7 @@ impl<'a> KdTree<'a> {
     /// into `s` subsets ordered by local density and indexes each one.
     pub fn build_subset(data: &'a Dataset, ids: &[usize]) -> Self {
         let mut ids: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-        let mut tree = Self {
-            data,
-            nodes: Vec::with_capacity(ids.len()),
-            root: NONE,
-        };
+        let mut tree = Self { data, nodes: Vec::with_capacity(ids.len()), root: NONE };
         if !ids.is_empty() {
             tree.root = tree.build_rec(&mut ids, 0);
         }
@@ -134,12 +126,7 @@ impl<'a> KdTree<'a> {
             let child = if go_left { node.left } else { node.right };
             if child == NONE {
                 let child_axis = ((axis + 1) % dim) as u8;
-                self.nodes.push(Node {
-                    id: id as u32,
-                    axis: child_axis,
-                    left: NONE,
-                    right: NONE,
-                });
+                self.nodes.push(Node { id: id as u32, axis: child_axis, left: NONE, right: NONE });
                 let node = &mut self.nodes[cur as usize];
                 if go_left {
                     node.left = new_idx;
@@ -187,7 +174,8 @@ impl<'a> KdTree<'a> {
         let diff = query[axis] - coords[axis];
         // The near side always has to be visited; the far side only when the
         // splitting plane is within `radius` of the query.
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.range_count_rec(near, query, radius, r_sq, exclude, count);
         }
@@ -232,7 +220,8 @@ impl<'a> KdTree<'a> {
         }
         let axis = node.axis as usize;
         let diff = query[axis] - coords[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.range_search_rec(near, query, radius, r_sq, out);
         }
@@ -261,19 +250,20 @@ impl<'a> KdTree<'a> {
         let coords = self.data.point(node.id as usize);
         if node.id != exclude {
             let d_sq = dist_sq(query, coords);
-            if best.map_or(true, |(_, b)| d_sq < b) {
+            if best.is_none_or(|(_, b)| d_sq < b) {
                 *best = Some((node.id, d_sq));
             }
         }
         let axis = node.axis as usize;
         let diff = query[axis] - coords[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.nn_rec(near, query, exclude, best);
         }
         if far != NONE {
             let plane_sq = diff * diff;
-            if best.map_or(true, |(_, b)| plane_sq < b) {
+            if best.is_none_or(|(_, b)| plane_sq < b) {
                 self.nn_rec(far, query, exclude, best);
             }
         }
@@ -290,8 +280,7 @@ impl<'a> KdTree<'a> {
 mod tests {
     use super::*;
     use dpc_geometry::dist;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dpc_rng::StdRng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -300,9 +289,7 @@ mod tests {
     }
 
     fn brute_range_count(ds: &Dataset, q: &[f64], r: f64, exclude: Option<usize>) -> usize {
-        ds.iter()
-            .filter(|(id, p)| Some(*id) != exclude && dist(q, p) < r)
-            .count()
+        ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(q, p) < r).count()
     }
 
     fn brute_nn(ds: &Dataset, q: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
@@ -329,7 +316,10 @@ mod tests {
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.range_count(&[5.0, 5.0], 1.0, None), 1);
         assert_eq!(tree.range_count(&[5.0, 5.0], 1.0, Some(0)), 0);
-        assert_eq!(tree.nearest_neighbor(&[0.0, 0.0], None), Some((0, dist(&[0.0, 0.0], &[5.0, 5.0]))));
+        assert_eq!(
+            tree.nearest_neighbor(&[0.0, 0.0], None),
+            Some((0, dist(&[0.0, 0.0], &[5.0, 5.0])))
+        );
         assert!(tree.nearest_neighbor(&[0.0, 0.0], Some(0)).is_none());
     }
 

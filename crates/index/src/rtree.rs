@@ -186,7 +186,14 @@ impl<'a> RTree<'a> {
         out
     }
 
-    fn search_rec(&self, node_idx: u32, query: &[f64], radius: f64, r_sq: f64, out: &mut Vec<usize>) {
+    fn search_rec(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        radius: f64,
+        r_sq: f64,
+        out: &mut Vec<usize>,
+    ) {
         let node = &self.nodes[node_idx as usize];
         if !node.mbr.intersects_ball(query, radius) {
             return;
@@ -225,8 +232,7 @@ impl<'a> RTree<'a> {
 mod tests {
     use super::*;
     use dpc_geometry::dist;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dpc_rng::StdRng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

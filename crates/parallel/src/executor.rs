@@ -23,9 +23,7 @@ pub struct Executor {
 impl Default for Executor {
     /// An executor using all available hardware parallelism.
     fn default() -> Self {
-        Self::new(
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        )
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 }
 
@@ -145,11 +143,7 @@ impl Executor {
                 .groups
                 .iter()
                 .filter(|group| !group.is_empty())
-                .map(|group| {
-                    scope.spawn(|| {
-                        group.iter().map(|&i| (i, f(i))).collect::<Vec<_>>()
-                    })
-                })
+                .map(|group| scope.spawn(|| group.iter().map(|&i| (i, f(i))).collect::<Vec<_>>()))
                 .collect();
             for handle in handles {
                 partials.push(handle.join().expect("worker thread panicked"));
@@ -282,7 +276,7 @@ mod tests {
         for threads in [1usize, 3, 7] {
             let ex = Executor::new(threads);
             let ranges = ex.map_chunks(100, |r| r);
-            let mut seen = vec![false; 100];
+            let mut seen = [false; 100];
             for r in ranges {
                 for i in r {
                     assert!(!seen[i]);

@@ -157,7 +157,7 @@ mod tests {
         // A few huge tasks followed by many tiny ones: round-robin piles the
         // huge ones onto the same bins, LPT spreads them.
         let mut costs = vec![100.0, 100.0, 100.0, 100.0];
-        costs.extend(std::iter::repeat(1.0).take(96));
+        costs.extend(std::iter::repeat_n(1.0, 96));
         let lpt = lpt_partition(&costs, 4);
         let rr = round_robin_partition(&costs, 4);
         assert!(lpt.imbalance() <= rr.imbalance());

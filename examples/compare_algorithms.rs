@@ -1,7 +1,7 @@
 //! Side-by-side comparison of every algorithm in the workspace on one dataset:
-//! running time, phase breakdown, clusters, and agreement with the exact
-//! result. A miniature version of the paper's evaluation you can point at your
-//! own data by changing one line.
+//! fit time, phase breakdown, clusters, and agreement with the exact result.
+//! A miniature version of the paper's evaluation you can point at your own
+//! data by changing one line.
 //!
 //! ```text
 //! cargo run --release --example compare_algorithms
@@ -10,17 +10,15 @@
 use fast_dpc::baselines::{CfsfdpA, LshDdp, RtreeScan, Scan};
 use fast_dpc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DpcError> {
     // The paper's Syn workload at a laptop-friendly size. Swap in
     // `fast_dpc::data::io::read_points("my_points.csv")` to use your own data.
     let data = random_walk(15_000, 13, 1e5, 20_210_621);
     let dcut = 250.0;
-    let params = DpcParams::new(dcut)
-        .with_rho_min(10.0)
-        .with_delta_min(3.0 * dcut)
-        .with_threads(4);
+    let params = DpcParams::new(dcut).with_threads(4);
+    let thresholds = Thresholds::new(10.0, 3.0 * dcut)?;
 
-    let exact = ExDpc::new(params).run(&data);
+    let exact = ExDpc::new(params).run(&data, &thresholds)?;
     println!(
         "dataset: {} points, {}d | exact result: {} clusters, {} noise\n",
         data.len(),
@@ -44,7 +42,8 @@ fn main() {
     ];
 
     for (name, algo) in algorithms {
-        let clustering = algo.run(&data);
+        let model = algo.fit(&data)?;
+        let clustering = model.extract(&thresholds);
         println!(
             "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>12.4}",
             name,
@@ -61,4 +60,5 @@ fn main() {
          baselines, Approx-DPC should score a Rand index of ~1.0, and S-Approx-DPC should be \
          the fastest overall."
     );
+    Ok(())
 }

@@ -2,9 +2,10 @@
 //!
 //! The DPC selling point demonstrated by the paper's Figure 1: even without
 //! domain knowledge, the (ρ, δ) decision graph makes the number of clusters
-//! and the thresholds visually obvious. This example reproduces that workflow
-//! programmatically: run DPC once, read the decision graph, pick δ_min so the
-//! 15 Gaussian clusters of S2 are selected, and re-label.
+//! and the thresholds visually obvious. Under the fit/extract API the workflow
+//! is exactly one fit: read the decision graph from the model, pick δ_min so
+//! the 15 Gaussian clusters of S2 are selected, and extract — the expensive
+//! ρ/δ phases never run a second time.
 //!
 //! ```text
 //! cargo run --release --example decision_graph
@@ -12,23 +13,26 @@
 
 use fast_dpc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DpcError> {
     // S2: 15 Gaussian clusters with moderate overlap, domain [0, 10^6]^2.
     let data = s_set(2, 10_000, 1);
     let dcut = 20_000.0;
-    let params = DpcParams::new(dcut).with_rho_min(10.0).with_delta_min(1.5 * dcut).with_threads(4);
+    let rho_min = 10.0;
+    let params = DpcParams::new(dcut).with_threads(4);
 
-    // First pass: densities and dependent distances (the clustering itself is
-    // incidental — what we want is the decision graph).
-    let first = ApproxDpc::new(params).run(&data);
-    let graph = first.decision_graph();
+    // The single fit: densities and dependent distances.
+    let model = ApproxDpc::new(params).fit(&data)?;
+    let graph = model.decision_graph();
 
     // Textual "decision graph": bucket δ values and show how many points fall
     // into each bucket. The 15 centres stand out in the top bucket.
     println!("decision graph summary ({} points):", graph.len());
-    let mut finite: Vec<f64> = graph.points.iter().map(|&(_, d)| d).filter(|d| d.is_finite()).collect();
+    let mut finite: Vec<f64> =
+        graph.points.iter().map(|&(_, d)| d).filter(|d| d.is_finite()).collect();
     finite.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    for (label, range) in [("top 15", 0..15), ("next 35", 15..50), ("rest", 50..finite.len().min(100_000))] {
+    for (label, range) in
+        [("top 15", 0..15), ("next 35", 15..50), ("rest", 50..finite.len().min(100_000))]
+    {
         let slice = &finite[range.clone()];
         if slice.is_empty() {
             continue;
@@ -40,14 +44,15 @@ fn main() {
         );
     }
 
-    // Read the threshold that separates exactly 15 centres and re-run with it.
+    // Read the threshold that separates exactly 15 centres and extract with it
+    // — an O(n) relabel of the same model, not a second clustering run.
     let delta_min = graph
-        .suggest_delta_min(15, params.rho_min)
+        .suggest_delta_min(15, rho_min)
         .expect("S2 has 15 well-separated density peaks")
         .max(dcut * 1.01);
     println!("chosen delta_min = {delta_min:.0} (d_cut = {dcut})");
 
-    let final_clustering = ApproxDpc::new(params.with_delta_min(delta_min)).run(&data);
+    let final_clustering = model.extract(&Thresholds::new(rho_min, delta_min)?);
     println!("clusters: {}", final_clustering.num_clusters());
     println!("noise   : {}", final_clustering.noise_count());
 
@@ -60,4 +65,5 @@ fn main() {
         "Rand index vs generator ground truth: {:.3}",
         rand_index(final_clustering.labels(), &truth)
     );
+    Ok(())
 }

@@ -1,4 +1,5 @@
-//! Quickstart: cluster a small synthetic dataset with Approx-DPC.
+//! Quickstart: cluster a small synthetic dataset with Approx-DPC using the
+//! fit-once / relabel-many workflow.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,19 +7,22 @@
 
 use fast_dpc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DpcError> {
     // 1. Get data: three Gaussian blobs plus a bit of background noise.
     let mut data = gaussian_blobs(&[(0.0, 0.0), (60.0, 60.0), (120.0, 0.0)], 500, 3.0, 42);
     data = fast_dpc::data::transform::add_noise(&data, 0.02, 7);
     println!("dataset: {} points in {} dimensions", data.len(), data.dim());
 
-    // 2. Pick parameters. d_cut is the neighbourhood radius of the density
-    //    estimate; ρ_min removes very sparse points; δ_min selects centres.
-    let params = DpcParams::new(6.0).with_rho_min(8.0).with_delta_min(30.0).with_threads(4);
+    // 2. Fit once. The only structural parameter is d_cut, the neighbourhood
+    //    radius of the density estimate — the expensive ρ/δ phases depend on
+    //    nothing else. `fit` returns Err (never panics) on bad input.
+    let params = DpcParams::new(6.0).with_threads(4);
+    let model = ApproxDpc::new(params).fit(&data)?;
 
-    // 3. Run Approx-DPC: parameter-free approximation with the same cluster
-    //    centres as the exact algorithm.
-    let clustering = ApproxDpc::new(params).run(&data);
+    // 3. Extract a clustering. ρ_min removes very sparse points; δ_min selects
+    //    centres. Both live in `Thresholds` because changing them is an O(n)
+    //    relabel on the fitted model — not a re-run.
+    let clustering = model.extract(&Thresholds::new(8.0, 30.0)?);
 
     println!("clusters found : {}", clustering.num_clusters());
     println!("noise points   : {}", clustering.noise_count());
@@ -30,20 +34,28 @@ fn main() {
         );
     }
 
-    // 4. The decision graph shows why those centres were chosen: they are the
-    //    points with both high density and a large dependent distance.
-    let graph = clustering.decision_graph();
+    // 4. The decision graph (a property of the model, no extraction needed)
+    //    shows why those centres were chosen: they are the points with both
+    //    high density and a large dependent distance.
+    let graph = model.decision_graph();
     let top: Vec<_> = graph.by_decreasing_delta().into_iter().take(5).collect();
     println!("top-5 dependent distances (point, rho, delta):");
     for (id, rho, delta) in top {
         println!("  #{id}: rho = {rho:.1}, delta = {delta:.1}");
     }
 
-    // 5. Compare against the exact algorithm — same centres, near-identical
+    // 5. Interactive re-thresholding is free: sweep δ_min over the same model
+    //    and watch the cluster count — no ρ/δ recomputation happens.
+    print!("delta_min sweep on one model:");
+    for delta_min in [15.0, 30.0, 60.0, 120.0] {
+        let c = model.extract(&Thresholds::new(8.0, delta_min)?);
+        print!("  {delta_min}->{} clusters", c.num_clusters());
+    }
+    println!();
+
+    // 6. Compare against the exact algorithm — same centres, near-identical
     //    labels (Theorem 4 of the paper).
-    let exact = ExDpc::new(params).run(&data);
-    println!(
-        "Rand index vs exact DPC: {:.4}",
-        rand_index(clustering.labels(), exact.labels())
-    );
+    let exact = ExDpc::new(params).run(&data, &Thresholds::new(8.0, 30.0)?)?;
+    println!("Rand index vs exact DPC: {:.4}", rand_index(clustering.labels(), exact.labels()));
+    Ok(())
 }

@@ -14,14 +14,38 @@
 //! `LSH-DDP`, `CFSFDP-A`, `DBSCAN`) and the workload generators of its
 //! evaluation section.
 //!
+//! ## The fit / extract workflow
+//!
+//! DPC's expensive phases — local densities `ρ` and dependent points/distances
+//! `δ` — depend only on the cutoff distance `d_cut`. The thresholds
+//! `ρ_min`/`δ_min` only drive the final `O(n)` labelling pass. The API mirrors
+//! that split: [`DpcAlgorithm::fit`](dpc_core::DpcAlgorithm::fit) computes the
+//! expensive part once into a [`DpcModel`](dpc_core::DpcModel), and
+//! [`DpcModel::extract`](dpc_core::DpcModel::extract) relabels for any
+//! [`Thresholds`](dpc_core::Thresholds) — so the interactive loop the paper
+//! describes (read the decision graph, adjust thresholds, relabel) never
+//! refits. All validation is fallible ([`DpcError`](dpc_core::DpcError))
+//! instead of panicking.
+//!
 //! ```
 //! use fast_dpc::prelude::*;
 //!
+//! # fn main() -> Result<(), DpcError> {
 //! // Three well-separated blobs.
 //! let dataset = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0), (100.0, 0.0)], 100, 2.0, 7);
-//! let params = DpcParams::new(6.0).with_rho_min(5.0).with_delta_min(20.0);
-//! let clustering = ApproxDpc::new(params).run(&dataset);
+//!
+//! // Fit once: the O(n·…) ρ/δ phases.
+//! let model = ApproxDpc::new(DpcParams::new(6.0)).fit(&dataset)?;
+//!
+//! // Extract as often as you like: O(n) per threshold choice.
+//! let clustering = model.extract(&Thresholds::new(5.0, 20.0)?);
 //! assert_eq!(clustering.num_clusters(), 3);
+//!
+//! // Sweeping a threshold reuses the same model — no recompute.
+//! let strict = model.extract(&Thresholds::new(5.0, 200.0)?);
+//! assert!(strict.num_clusters() <= clustering.num_clusters());
+//! # Ok(())
+//! # }
 //! ```
 
 pub use dpc_baselines as baselines;
@@ -31,14 +55,16 @@ pub use dpc_eval as eval;
 pub use dpc_geometry as geometry;
 pub use dpc_index as index;
 pub use dpc_parallel as parallel;
+pub use dpc_rng as rng;
 
 /// Convenience re-exports covering the common workflow: generate or load a
-/// dataset, pick parameters, run an algorithm, evaluate the result.
+/// dataset, pick structural parameters, fit a model, extract clusterings at
+/// one or more thresholds, evaluate the result.
 pub mod prelude {
     pub use dpc_baselines::{CfsfdpA, Dbscan, LshDdp, RtreeScan, Scan};
     pub use dpc_core::{
-        ApproxDpc, Assignment, Clustering, DecisionGraph, DpcAlgorithm, DpcParams, ExDpc,
-        SApproxDpc, NOISE,
+        ApproxDpc, Assignment, Clustering, DecisionGraph, DpcAlgorithm, DpcError, DpcModel,
+        DpcParams, ExDpc, SApproxDpc, Thresholds, NOISE,
     };
     pub use dpc_data::generators::{gaussian_blobs, random_walk, s_set};
     pub use dpc_eval::{adjusted_rand_index, rand_index};

@@ -1,6 +1,7 @@
 //! Failure-injection and degenerate-input tests across the public API: the
-//! library must behave predictably on empty data, single points, duplicate
-//! points, extreme parameters and pathological geometry.
+//! library must behave predictably — returning `DpcError`s, never panicking —
+//! on empty data, single points, duplicate points, extreme parameters and
+//! pathological geometry.
 
 use fast_dpc::baselines::{CfsfdpA, Dbscan, LshDdp, RtreeScan, Scan};
 use fast_dpc::data::real::RealDataset;
@@ -19,23 +20,38 @@ fn algorithms(params: DpcParams) -> Vec<Box<dyn DpcAlgorithm>> {
 }
 
 #[test]
-fn empty_dataset_yields_empty_clustering_everywhere() {
+fn empty_dataset_yields_an_error_everywhere() {
     let params = DpcParams::new(1.0);
     for algo in algorithms(params) {
-        let c = algo.run(&Dataset::new(2));
-        assert!(c.is_empty(), "{}", algo.name());
-        assert_eq!(c.num_clusters(), 0, "{}", algo.name());
-        assert_eq!(c.noise_count(), 0, "{}", algo.name());
+        let err = algo.fit(&Dataset::new(2)).unwrap_err();
+        assert_eq!(err, DpcError::EmptyDataset, "{}", algo.name());
     }
+    // DBSCAN is not a DpcAlgorithm; empty input stays empty output there.
     assert!(Dbscan::new(1.0, 2).run(&Dataset::new(2)).is_empty());
+}
+
+#[test]
+fn invalid_dcut_yields_an_error_everywhere() {
+    let data = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]);
+    for bad in [0.0, -1.0, f64::NAN] {
+        for algo in algorithms(DpcParams::new(bad)) {
+            let err = algo.fit(&data).unwrap_err();
+            assert!(
+                matches!(err, DpcError::InvalidParams { param: "d_cut", .. }),
+                "{} with d_cut {bad}: {err:?}",
+                algo.name()
+            );
+        }
+    }
 }
 
 #[test]
 fn single_point_is_its_own_cluster() {
     let params = DpcParams::new(5.0);
+    let thresholds = Thresholds::for_dcut(5.0);
     let data = Dataset::from_flat(3, vec![1.0, 2.0, 3.0]);
     for algo in algorithms(params) {
-        let c = algo.run(&data);
+        let c = algo.run(&data, &thresholds).unwrap();
         assert_eq!(c.len(), 1, "{}", algo.name());
         assert_eq!(c.num_clusters(), 1, "{}", algo.name());
         assert!(c.delta[0].is_infinite(), "{}", algo.name());
@@ -46,9 +62,10 @@ fn single_point_is_its_own_cluster() {
 #[test]
 fn all_identical_points_form_one_cluster() {
     let params = DpcParams::new(0.5);
+    let thresholds = Thresholds::for_dcut(0.5);
     let data = Dataset::from_flat(2, vec![7.0; 40]);
     for algo in algorithms(params) {
-        let c = algo.run(&data);
+        let c = algo.run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 1, "{}", algo.name());
         assert!(c.assignment.iter().all(|&l| l == 0), "{}", algo.name());
     }
@@ -61,10 +78,11 @@ fn collinear_points_do_not_break_the_indexes() {
     for i in 0..500 {
         data.push(&[i as f64, 42.0]);
     }
-    let params = DpcParams::new(3.0).with_rho_min(1.0).with_delta_min(10.0);
-    let exact = ExDpc::new(params).run(&data);
+    let params = DpcParams::new(3.0);
+    let thresholds = Thresholds::new(1.0, 10.0).unwrap();
+    let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
     for algo in algorithms(params) {
-        let c = algo.run(&data);
+        let c = algo.run(&data, &thresholds).unwrap();
         assert_eq!(c.len(), data.len(), "{}", algo.name());
         // Exact algorithms must agree with Ex-DPC even here.
         if matches!(algo.name(), "Scan" | "R-tree + Scan" | "CFSFDP-A") {
@@ -76,9 +94,10 @@ fn collinear_points_do_not_break_the_indexes() {
 #[test]
 fn huge_rho_min_marks_everything_as_noise() {
     let data = gaussian_blobs(&[(0.0, 0.0)], 200, 2.0, 3);
-    let params = DpcParams::new(5.0).with_rho_min(1e9).with_delta_min(20.0);
+    let params = DpcParams::new(5.0);
+    let thresholds = Thresholds::new(1e9, 20.0).unwrap();
     for algo in algorithms(params) {
-        let c = algo.run(&data);
+        let c = algo.run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 0, "{}", algo.name());
         assert_eq!(c.noise_count(), data.len(), "{}", algo.name());
     }
@@ -89,9 +108,10 @@ fn tiny_dcut_degenerates_gracefully() {
     // d_cut so small that every local density is zero: every point's δ is its
     // nearest-neighbour distance and the centre threshold decides everything.
     let data = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0)], 50, 1.0, 7);
-    let params = DpcParams::new(1e-6).with_rho_min(0.0).with_delta_min(2e-6);
-    let exact = ExDpc::new(params).run(&data);
-    let approx = ApproxDpc::new(params).run(&data);
+    let params = DpcParams::new(1e-6);
+    let thresholds = Thresholds::new(0.0, 2e-6).unwrap();
+    let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
+    let approx = ApproxDpc::new(params).run(&data, &thresholds).unwrap();
     assert_eq!(exact.rho, approx.rho);
     assert!(exact.rho.iter().all(|&r| r < 1.0), "all counts must be zero");
     assert_eq!(exact.centers, approx.centers);
@@ -101,9 +121,10 @@ fn tiny_dcut_degenerates_gracefully() {
 fn huge_dcut_puts_everything_in_one_ball() {
     // d_cut larger than the diameter: ρ = n − 1 for every point, one cluster.
     let data = gaussian_blobs(&[(0.0, 0.0), (10.0, 10.0)], 100, 1.0, 9);
-    let params = DpcParams::new(1e6).with_rho_min(0.0).with_delta_min(2e6);
+    let params = DpcParams::new(1e6);
+    let thresholds = Thresholds::new(0.0, 2e6).unwrap();
     for algo in algorithms(params) {
-        let c = algo.run(&data);
+        let c = algo.run(&data, &thresholds).unwrap();
         assert_eq!(c.num_clusters(), 1, "{}", algo.name());
         assert!(
             c.rho.iter().all(|&r| (r - (data.len() as f64 - 1.0)).abs() < 1.0),
@@ -116,10 +137,11 @@ fn huge_dcut_puts_everything_in_one_ball() {
 #[test]
 fn extreme_epsilon_values_for_sapprox() {
     let data = gaussian_blobs(&[(0.0, 0.0), (100.0, 100.0)], 200, 3.0, 4);
-    let params = DpcParams::new(8.0).with_rho_min(3.0).with_delta_min(40.0);
+    let params = DpcParams::new(8.0);
+    let thresholds = Thresholds::new(3.0, 40.0).unwrap();
     // Very fine grid (≈ one point per cell) and very coarse grid.
     for eps in [0.05, 4.0] {
-        let c = SApproxDpc::new(params).with_epsilon(eps).run(&data);
+        let c = SApproxDpc::new(params).with_epsilon(eps).run(&data, &thresholds).unwrap();
         assert_eq!(c.len(), data.len(), "eps = {eps}");
         assert!(c.num_clusters() >= 1, "eps = {eps}");
     }
@@ -132,9 +154,10 @@ fn high_dimensional_surrogate_still_works() {
     // approximation stays close to exact.
     let data = RealDataset::Sensor.generate_with(1_500, 6);
     let dcut = RealDataset::Sensor.default_dcut();
-    let params = DpcParams::new(dcut).with_rho_min(3.0).with_delta_min(3.0 * dcut);
-    let exact = ExDpc::new(params).run(&data);
-    let approx = ApproxDpc::new(params).run(&data);
+    let params = DpcParams::new(dcut);
+    let thresholds = Thresholds::new(3.0, 3.0 * dcut).unwrap();
+    let exact = ExDpc::new(params).run(&data, &thresholds).unwrap();
+    let approx = ApproxDpc::new(params).run(&data, &thresholds).unwrap();
     assert_eq!(exact.centers, approx.centers);
     assert!(rand_index(approx.labels(), exact.labels()) > 0.95);
 }

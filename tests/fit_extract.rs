@@ -1,0 +1,172 @@
+//! The fit-once / relabel-many contract, tested end to end:
+//!
+//! 1. **Equivalence** — for every paper algorithm (Ex-DPC, Approx-DPC,
+//!    S-Approx-DPC) and a grid of thresholds, extracting from one shared
+//!    fitted model produces a `Clustering` identical (centres, labels, ρ, δ,
+//!    dependents) to a fresh monolithic `run` (fit + extract) at those
+//!    thresholds — i.e. the split API computes exactly what the seed's
+//!    single-shot `run` computed, while fitting only once.
+//! 2. **Error paths** — every `DpcError` variant is reachable through the
+//!    public API and none of them panics.
+
+use fast_dpc::prelude::*;
+
+/// The threshold grid the equivalence tests sweep: the paper's interactive
+/// use case (ρ_min × δ_min combinations over one decision graph).
+fn threshold_grid(dcut: f64) -> Vec<Thresholds> {
+    let mut grid = Vec::new();
+    for rho_min in [0.0, 2.0, 5.0, 20.0] {
+        for delta_factor in [1.2, 2.0, 3.0, 6.0] {
+            grid.push(Thresholds::new(rho_min, delta_factor * dcut).unwrap());
+        }
+    }
+    grid
+}
+
+fn paper_algorithms(params: DpcParams) -> Vec<(&'static str, Box<dyn DpcAlgorithm>)> {
+    vec![
+        ("Ex-DPC", Box::new(ExDpc::new(params))),
+        ("Approx-DPC", Box::new(ApproxDpc::new(params))),
+        ("S-Approx-DPC", Box::new(SApproxDpc::new(params).with_epsilon(0.5))),
+    ]
+}
+
+#[test]
+fn extract_equals_monolithic_run_across_a_threshold_grid() {
+    let data = random_walk(3_000, 8, 1e4, 17);
+    let dcut = 100.0;
+    let params = DpcParams::new(dcut);
+    for (name, algo) in paper_algorithms(params) {
+        // One fit, many extracts…
+        let model = algo.fit(&data).unwrap();
+        for (ti, thresholds) in threshold_grid(dcut).iter().enumerate() {
+            let from_model = model.extract(thresholds);
+            // …versus a fresh fit + extract for every threshold choice.
+            let monolithic = algo.run(&data, thresholds).unwrap();
+            assert_eq!(from_model.rho, monolithic.rho, "{name} grid #{ti}: ρ differs");
+            assert_eq!(from_model.delta, monolithic.delta, "{name} grid #{ti}: δ differs");
+            assert_eq!(
+                from_model.dependent, monolithic.dependent,
+                "{name} grid #{ti}: dependents differ"
+            );
+            assert_eq!(from_model.centers, monolithic.centers, "{name} grid #{ti}: centres differ");
+            assert_eq!(
+                from_model.assignment, monolithic.assignment,
+                "{name} grid #{ti}: labels differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn extraction_order_does_not_matter() {
+    // Extracting strict-then-loose must equal loose-then-strict: extract is a
+    // pure function of (model, thresholds).
+    let data = gaussian_blobs(&[(0.0, 0.0), (80.0, 80.0)], 300, 3.0, 4);
+    let model = ApproxDpc::new(DpcParams::new(6.0)).fit(&data).unwrap();
+    let loose = Thresholds::new(2.0, 12.0).unwrap();
+    let strict = Thresholds::new(2.0, 60.0).unwrap();
+    let a1 = model.extract(&loose);
+    let b1 = model.extract(&strict);
+    let b2 = model.extract(&strict);
+    let a2 = model.extract(&loose);
+    assert_eq!(a1.assignment, a2.assignment);
+    assert_eq!(b1.assignment, b2.assignment);
+    assert_eq!(a1.centers, a2.centers);
+    assert_eq!(b1.centers, b2.centers);
+}
+
+#[test]
+fn model_exposes_the_decision_graph_and_metadata() {
+    let data = gaussian_blobs(&[(0.0, 0.0), (90.0, 0.0)], 200, 2.0, 8);
+    let model = ExDpc::new(DpcParams::new(5.0).with_threads(2)).fit(&data).unwrap();
+    assert_eq!(model.algorithm(), "Ex-DPC");
+    assert_eq!(model.dcut(), 5.0);
+    assert_eq!(model.len(), data.len());
+    assert_eq!(model.decision_graph().len(), data.len());
+    assert!(model.index_bytes() > 0);
+    assert!(model.fit_timings().rho_secs >= 0.0);
+    // The density order is a permutation sorted by decreasing ρ.
+    let order = model.density_order();
+    assert_eq!(order.len(), data.len());
+    for w in order.windows(2) {
+        assert!(model.rho()[w[0]] > model.rho()[w[1]]);
+    }
+}
+
+// ---- Error paths: every DpcError variant, no panics. ----
+
+#[test]
+fn error_invalid_params_dcut() {
+    let data = Dataset::from_flat(2, vec![0.0, 0.0]);
+    let err = ExDpc::new(DpcParams::new(f64::NAN)).fit(&data).unwrap_err();
+    match err {
+        DpcError::InvalidParams { param, requirement, .. } => {
+            assert_eq!(param, "d_cut");
+            assert!(!requirement.is_empty());
+        }
+        other => panic!("expected InvalidParams, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_invalid_params_epsilon() {
+    let data = Dataset::from_flat(2, vec![0.0, 0.0]);
+    let err = SApproxDpc::new(DpcParams::new(1.0)).with_epsilon(-0.5).fit(&data).unwrap_err();
+    assert!(matches!(err, DpcError::InvalidParams { param: "epsilon", .. }), "{err:?}");
+}
+
+#[test]
+fn error_invalid_thresholds() {
+    for (rho_min, delta_min) in [(-1.0, 5.0), (f64::NAN, 5.0), (0.0, 0.0), (0.0, f64::NAN)] {
+        let err = Thresholds::new(rho_min, delta_min).unwrap_err();
+        assert!(matches!(err, DpcError::InvalidThresholds { .. }), "{err:?}");
+        // Display carries the offending parameter name.
+        let msg = err.to_string();
+        assert!(msg.contains("rho_min") || msg.contains("delta_min"), "{msg}");
+    }
+}
+
+#[test]
+fn error_empty_dataset() {
+    let err = ApproxDpc::new(DpcParams::new(1.0)).fit(&Dataset::new(4)).unwrap_err();
+    assert_eq!(err, DpcError::EmptyDataset);
+    assert!(err.to_string().contains("empty"));
+}
+
+#[test]
+fn error_dimension_mismatch() {
+    use fast_dpc::core::Timings;
+    let err = DpcModel::from_parts(
+        "hand-built",
+        1.0,
+        vec![1.0, 2.0, 3.0],
+        vec![0.1, 0.2],
+        vec![0, 0, 0],
+        Timings::default(),
+        0,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, DpcError::DimensionMismatch { what: "delta", expected: 3, got: 2 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn errors_are_values_not_panics() {
+    // A service loop can route every failure mode without unwinding.
+    fn classify(e: &DpcError) -> &'static str {
+        match e {
+            DpcError::InvalidParams { .. } => "bad request: parameter",
+            DpcError::InvalidThresholds { .. } => "bad request: threshold",
+            DpcError::EmptyDataset => "bad request: no data",
+            DpcError::DimensionMismatch { .. } => "internal: inconsistent arrays",
+        }
+    }
+    let data = Dataset::new(2);
+    let e = ExDpc::new(DpcParams::new(1.0)).fit(&data).unwrap_err();
+    assert_eq!(classify(&e), "bad request: no data");
+    let e = Thresholds::new(-1.0, 1.0).unwrap_err();
+    assert_eq!(classify(&e), "bad request: threshold");
+}

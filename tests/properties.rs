@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) on the core invariants of the workspace:
-//! index correctness against brute force, the paper's Theorem 4, the DPC
+//! Randomized property tests on the core invariants of the workspace: index
+//! correctness against brute force, the paper's Theorem 4, the DPC
 //! dependency-structure invariants, and the metric properties of the Rand
 //! index.
+//!
+//! The container has no property-testing framework, so each property is
+//! checked over a fixed set of deterministic seeds with datasets drawn from
+//! the in-workspace `dpc-rng` generator — same spirit (many random cases, all
+//! reproducible), no external dependency.
 
 use fast_dpc::baselines::Scan;
 use fast_dpc::eval::{adjusted_rand_index, rand_index};
@@ -9,155 +14,189 @@ use fast_dpc::geometry::{dist, Dataset};
 use fast_dpc::index::{Grid, KdTree};
 use fast_dpc::parallel::lpt_partition;
 use fast_dpc::prelude::*;
-use proptest::prelude::*;
+use fast_dpc::rng::StdRng;
 
-/// Strategy: a small 2-d dataset with coordinates in [0, 100).
-fn dataset_strategy(max_points: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..max_points).prop_map(|rows| {
-        let mut ds = Dataset::new(2);
-        for (x, y) in rows {
-            ds.push(&[x, y]);
-        }
-        ds
-    })
+const CASES: u64 = 16;
+
+/// A random 2-d dataset with `2..max_points` points in `[0, 100)^2`.
+fn random_dataset(rng: &mut StdRng, max_points: usize) -> Dataset {
+    let n = rng.gen_range(2..max_points);
+    let mut ds = Dataset::new(2);
+    for _ in 0..n {
+        ds.push(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+    }
+    ds
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn kdtree_range_count_matches_brute_force(
-        ds in dataset_strategy(120),
-        qx in 0.0f64..100.0,
-        qy in 0.0f64..100.0,
-        radius in 0.1f64..60.0,
-    ) {
+#[test]
+fn kdtree_range_count_matches_brute_force() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA110 + seed);
+        let ds = random_dataset(&mut rng, 120);
         let tree = KdTree::build(&ds);
-        let q = [qx, qy];
+        let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+        let radius = rng.gen_range(0.1..60.0);
         let expected = ds.iter().filter(|(_, p)| dist(&q, p) < radius).count();
-        prop_assert_eq!(tree.range_count(&q, radius, None), expected);
+        assert_eq!(tree.range_count(&q, radius, None), expected, "seed {seed}");
         let mut found = tree.range_search(&q, radius);
         found.sort_unstable();
         let mut want: Vec<usize> =
             ds.iter().filter(|(_, p)| dist(&q, p) < radius).map(|(i, _)| i).collect();
         want.sort_unstable();
-        prop_assert_eq!(found, want);
+        assert_eq!(found, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn incremental_kdtree_equals_bulk_kdtree(
-        ds in dataset_strategy(100),
-        qx in 0.0f64..100.0,
-        qy in 0.0f64..100.0,
-    ) {
+#[test]
+fn incremental_kdtree_equals_bulk_kdtree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB220 + seed);
+        let ds = random_dataset(&mut rng, 100);
         let bulk = KdTree::build(&ds);
         let mut inc = KdTree::new_empty(&ds);
         for id in 0..ds.len() {
             inc.insert(id);
         }
-        let q = [qx, qy];
-        prop_assert_eq!(inc.range_count(&q, 10.0, None), bulk.range_count(&q, 10.0, None));
+        let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+        assert_eq!(
+            inc.range_count(&q, 10.0, None),
+            bulk.range_count(&q, 10.0, None),
+            "seed {seed}"
+        );
         let a = inc.nearest_neighbor(&q, None).map(|(_, d)| d);
         let b = bulk.nearest_neighbor(&q, None).map(|(_, d)| d);
         match (a, b) {
-            (Some(da), Some(db)) => prop_assert!((da - db).abs() < 1e-9),
+            (Some(da), Some(db)) => assert!((da - db).abs() < 1e-9, "seed {seed}"),
             (None, None) => {}
-            _ => prop_assert!(false, "one tree found a neighbour, the other did not"),
+            _ => panic!("seed {seed}: one tree found a neighbour, the other did not"),
         }
     }
+}
 
-    #[test]
-    fn grid_partitions_points_exactly_once(ds in dataset_strategy(150), side in 0.5f64..30.0) {
+#[test]
+fn grid_partitions_points_exactly_once() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC330 + seed);
+        let ds = random_dataset(&mut rng, 150);
+        let side = rng.gen_range(0.5..30.0);
         let grid = Grid::build(&ds, side);
         let mut seen = vec![false; ds.len()];
         for cell in grid.cell_ids() {
             for &p in grid.points(cell) {
-                prop_assert!(!seen[p], "point {} in two cells", p);
+                assert!(!seen[p], "seed {seed}: point {p} in two cells");
                 seen[p] = true;
-                prop_assert_eq!(grid.cell_of(p), cell);
+                assert_eq!(grid.cell_of(p), cell, "seed {seed}");
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s), "seed {seed}");
     }
+}
 
-    #[test]
-    fn scan_and_exdpc_are_identical(ds in dataset_strategy(90), dcut in 1.0f64..40.0) {
-        let params = DpcParams::new(dcut).with_rho_min(1.0).with_delta_min(2.0 * dcut);
-        let a = Scan::new(params).run(&ds);
-        let b = ExDpc::new(params).run(&ds);
-        prop_assert_eq!(a.rho, b.rho);
-        prop_assert_eq!(a.centers, b.centers);
-        prop_assert_eq!(a.assignment, b.assignment);
+#[test]
+fn scan_and_exdpc_are_identical() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD440 + seed);
+        let ds = random_dataset(&mut rng, 90);
+        let dcut = rng.gen_range(1.0..40.0);
+        let params = DpcParams::new(dcut);
+        let thresholds = Thresholds::new(1.0, 2.0 * dcut).unwrap();
+        let a = Scan::new(params).run(&ds, &thresholds).unwrap();
+        let b = ExDpc::new(params).run(&ds, &thresholds).unwrap();
+        assert_eq!(a.rho, b.rho, "seed {seed}");
+        assert_eq!(a.centers, b.centers, "seed {seed}");
+        assert_eq!(a.assignment, b.assignment, "seed {seed}");
     }
+}
 
-    #[test]
-    fn theorem4_approx_dpc_has_exdpc_centres(ds in dataset_strategy(120), dcut in 2.0f64..30.0) {
-        let params = DpcParams::new(dcut).with_rho_min(0.0).with_delta_min(1.5 * dcut);
-        let exact = ExDpc::new(params).run(&ds);
-        let approx = ApproxDpc::new(params).run(&ds);
-        prop_assert_eq!(exact.centers, approx.centers);
+#[test]
+fn theorem4_approx_dpc_has_exdpc_centres() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE550 + seed);
+        let ds = random_dataset(&mut rng, 120);
+        let dcut = rng.gen_range(2.0..30.0);
+        let params = DpcParams::new(dcut);
+        let thresholds = Thresholds::new(0.0, 1.5 * dcut).unwrap();
+        let exact = ExDpc::new(params).run(&ds, &thresholds).unwrap();
+        let approx = ApproxDpc::new(params).run(&ds, &thresholds).unwrap();
+        assert_eq!(exact.centers, approx.centers, "seed {seed}");
     }
+}
 
-    #[test]
-    fn dpc_dependency_structure_invariants(ds in dataset_strategy(120), dcut in 1.0f64..30.0) {
-        let params = DpcParams::new(dcut).with_rho_min(0.0).with_delta_min(2.0 * dcut);
+#[test]
+fn dpc_dependency_structure_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF660 + seed);
+        let ds = random_dataset(&mut rng, 120);
+        let dcut = rng.gen_range(1.0..30.0);
+        let params = DpcParams::new(dcut);
+        let thresholds = Thresholds::new(0.0, 2.0 * dcut).unwrap();
         for clustering in [
-            ExDpc::new(params).run(&ds),
-            ApproxDpc::new(params).run(&ds),
-            SApproxDpc::new(params).with_epsilon(0.7).run(&ds),
+            ExDpc::new(params).run(&ds, &thresholds).unwrap(),
+            ApproxDpc::new(params).run(&ds, &thresholds).unwrap(),
+            SApproxDpc::new(params).with_epsilon(0.7).run(&ds, &thresholds).unwrap(),
         ] {
             // Exactly one point (the densest) has an infinite dependent distance.
-            prop_assert_eq!(clustering.delta.iter().filter(|d| d.is_infinite()).count(), 1);
+            assert_eq!(
+                clustering.delta.iter().filter(|d| d.is_infinite()).count(),
+                1,
+                "seed {seed}"
+            );
             // Dependencies always point to strictly higher density; non-centre
             // points inherit their dependent point's label (centres start their
             // own cluster regardless of where they depend).
             for i in 0..ds.len() {
                 let dep = clustering.dependent[i];
                 if dep != i {
-                    prop_assert!(clustering.rho[dep] > clustering.rho[i]);
+                    assert!(clustering.rho[dep] > clustering.rho[i], "seed {seed}");
                     if clustering.assignment[i] >= 0 && !clustering.centers.contains(&i) {
-                        prop_assert_eq!(clustering.assignment[i], clustering.assignment[dep]);
+                        assert_eq!(
+                            clustering.assignment[i], clustering.assignment[dep],
+                            "seed {seed}"
+                        );
                     }
                 }
             }
             // With ρ_min = 0 there is no noise and every point is labelled.
-            prop_assert_eq!(clustering.noise_count(), 0);
+            assert_eq!(clustering.noise_count(), 0, "seed {seed}");
             // Every cluster label is a valid centre index.
             for &l in clustering.labels() {
-                prop_assert!(l >= 0 && (l as usize) < clustering.num_clusters());
+                assert!(l >= 0 && (l as usize) < clustering.num_clusters(), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn rand_index_properties(
-        a in prop::collection::vec(-1i64..4, 2..60),
-        bs in prop::collection::vec(-1i64..4, 2..60),
-    ) {
-        let n = a.len().min(bs.len());
-        let a = &a[..n];
-        let b = &bs[..n];
-        let ab = rand_index(a, b);
-        prop_assert!((0.0..=1.0).contains(&ab));
-        prop_assert!((ab - rand_index(b, a)).abs() < 1e-12);
-        prop_assert!((rand_index(a, a) - 1.0).abs() < 1e-12);
-        prop_assert!(adjusted_rand_index(a, a) > 0.999);
-        prop_assert!(adjusted_rand_index(a, b) <= 1.0 + 1e-12);
+#[test]
+fn rand_index_properties() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xAB70 + seed);
+        let n = rng.gen_range(2..60);
+        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5) as i64 - 1).collect();
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5) as i64 - 1).collect();
+        let ab = rand_index(&a, &b);
+        assert!((0.0..=1.0).contains(&ab), "seed {seed}");
+        assert!((ab - rand_index(&b, &a)).abs() < 1e-12, "seed {seed}");
+        assert!((rand_index(&a, &a) - 1.0).abs() < 1e-12, "seed {seed}");
+        assert!(adjusted_rand_index(&a, &a) > 0.999, "seed {seed}");
+        assert!(adjusted_rand_index(&a, &b) <= 1.0 + 1e-12, "seed {seed}");
     }
+}
 
-    #[test]
-    fn lpt_partition_respects_graham_bound(
-        costs in prop::collection::vec(0.0f64..100.0, 1..120),
-        bins in 1usize..12,
-    ) {
+#[test]
+fn lpt_partition_respects_graham_bound() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xCD80 + seed);
+        let tasks = rng.gen_range(1..120);
+        let costs: Vec<f64> = (0..tasks).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let bins = rng.gen_range(1..12);
         let p = lpt_partition(&costs, bins);
         let total: f64 = costs.iter().sum();
         let max_cost = costs.iter().cloned().fold(0.0, f64::max);
         let lower = (total / bins as f64).max(max_cost);
         // Graham's bound: makespan ≤ (4/3 − 1/(3m)) · OPT ≤ 1.5 · lower bound.
-        prop_assert!(p.max_load() <= 1.5 * lower + 1e-9);
+        assert!(p.max_load() <= 1.5 * lower + 1e-9, "seed {seed}");
         // And every task is assigned exactly once.
         let assigned: usize = p.groups.iter().map(|g| g.len()).sum();
-        prop_assert_eq!(assigned, costs.len());
+        assert_eq!(assigned, costs.len(), "seed {seed}");
     }
 }
