@@ -44,21 +44,24 @@ impl Dbscan {
         let tree = KdTree::build(data);
         let mut cluster = 0i64;
         let mut stack: Vec<usize> = Vec::new();
+        // One neighbourhood query per point: reuse a single result buffer so
+        // the expansion loop performs no per-point allocation.
+        let mut neighbors: Vec<usize> = Vec::new();
         for start in 0..n {
             if labels[start] != i64::MIN {
                 continue;
             }
-            // `range_search` uses an open ball; DBSCAN's ε-neighbourhood is
-            // closed, but the difference only matters for points at exactly ε,
-            // which has measure zero for the continuous generators used here.
-            let neighbors = tree.range_search(data.point(start), self.eps);
+            // `range_search_into` uses an open ball; DBSCAN's ε-neighbourhood
+            // is closed, but the difference only matters for points at exactly
+            // ε, which has measure zero for the continuous generators used here.
+            tree.range_search_into(data.point(start), self.eps, &mut neighbors);
             if neighbors.len() < self.min_pts {
                 labels[start] = DBSCAN_NOISE;
                 continue;
             }
             labels[start] = cluster;
             stack.clear();
-            stack.extend(neighbors.into_iter().filter(|&q| q != start));
+            stack.extend(neighbors.iter().copied().filter(|&q| q != start));
             while let Some(q) = stack.pop() {
                 if labels[q] == DBSCAN_NOISE {
                     labels[q] = cluster; // border point reached from a core point
@@ -67,11 +70,12 @@ impl Dbscan {
                     continue;
                 }
                 labels[q] = cluster;
-                let q_neighbors = tree.range_search(data.point(q), self.eps);
-                if q_neighbors.len() >= self.min_pts {
+                tree.range_search_into(data.point(q), self.eps, &mut neighbors);
+                if neighbors.len() >= self.min_pts {
                     stack.extend(
-                        q_neighbors
-                            .into_iter()
+                        neighbors
+                            .iter()
+                            .copied()
                             .filter(|&r| labels[r] == i64::MIN || labels[r] == DBSCAN_NOISE),
                     );
                 }

@@ -1,37 +1,134 @@
-//! Microbenchmarks for the kd-tree substrate: bulk build, incremental
-//! insertion, range counting and nearest-neighbour search.
+//! Microbenchmarks for the kd-tree substrate: the packed leaf-bucketed tree
+//! (`KdTree`) head-to-head against the seed's one-point-per-node arena tree
+//! (`IncrementalKdTree`) on bulk build, range counting, range search and
+//! nearest-neighbour search, plus the incremental-insert path Ex-DPC uses.
+//!
+//! Results are written to `BENCH_kdtree.json` (schema in `crates/bench/README.md`)
+//! so the perf trajectory of the local-density hot path is recorded PR over PR.
+//!
+//! Flags: `--n <points>` (default 100,000) `--out <json>` (default
+//! `BENCH_kdtree.json`). The dataset is clustered 2-d (Gaussian blobs) — the
+//! shape the paper's workloads have and the one where subtree-count pruning
+//! matters — plus a uniform 3-d set covering the generic kernel path.
 
-use dpc_bench::micro::bench;
-use dpc_data::generators::uniform;
-use dpc_index::KdTree;
+use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_data::generators::{gaussian_blobs, uniform};
+use dpc_geometry::Dataset;
+use dpc_index::{IncrementalKdTree, KdTree};
 use std::hint::black_box;
 
-const N: usize = 20_000;
+/// Queries per timed kernel; each bench iteration issues one query.
+const QUERIES: usize = 2_000;
+
+fn clustered_2d(n: usize) -> Dataset {
+    let centers: Vec<(f64, f64)> = (0..10)
+        .map(|i| (100.0 + 250.0 * f64::from(i % 4), 100.0 + 300.0 * f64::from(i / 4)))
+        .collect();
+    gaussian_blobs(&centers, n.div_ceil(10), 20.0, 1)
+}
+
+/// Benchmarks one tree pairing on one dataset, returning the records.
+fn run_suite(records: &mut Vec<BenchRecord>, data: &Dataset, radius: f64, label: &str) {
+    let n = data.len();
+    let d = data.dim();
+
+    records.push(bench_record(&format!("packed_build_{label}"), n, d, 5, || {
+        KdTree::build(data).len()
+    }));
+    records.push(bench_record(&format!("arena_build_{label}"), n, d, 5, || {
+        IncrementalKdTree::build(data).len()
+    }));
+
+    let packed = KdTree::build(data);
+    let arena = IncrementalKdTree::build(data);
+
+    let mut i = 0usize;
+    records.push(bench_record(&format!("packed_range_count_{label}"), n, d, QUERIES, || {
+        i = (i + 97) % n;
+        black_box(packed.range_count(data.point(i), radius, Some(i)))
+    }));
+    let mut i = 0usize;
+    records.push(bench_record(&format!("arena_range_count_{label}"), n, d, QUERIES, || {
+        i = (i + 97) % n;
+        black_box(arena.range_count(data.point(i), radius, Some(i)))
+    }));
+
+    let mut buf: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    records.push(bench_record(&format!("packed_range_search_{label}"), n, d, QUERIES, || {
+        i = (i + 97) % n;
+        packed.range_search_into(data.point(i), radius, &mut buf);
+        black_box(buf.len())
+    }));
+    let mut i = 0usize;
+    records.push(bench_record(&format!("arena_range_search_{label}"), n, d, QUERIES, || {
+        i = (i + 97) % n;
+        arena.range_search_into(data.point(i), radius, &mut buf);
+        black_box(buf.len())
+    }));
+
+    let mut i = 0usize;
+    records.push(bench_record(&format!("packed_nearest_neighbor_{label}"), n, d, QUERIES, || {
+        i = (i + 31) % n;
+        black_box(packed.nearest_neighbor(data.point(i), Some(i)))
+    }));
+    let mut i = 0usize;
+    records.push(bench_record(&format!("arena_nearest_neighbor_{label}"), n, d, QUERIES, || {
+        i = (i + 31) % n;
+        black_box(arena.nearest_neighbor(data.point(i), Some(i)))
+    }));
+}
 
 fn main() {
-    let data = uniform(N, 2, 100_000.0, 1);
-    println!("kd_tree (n = {N})");
+    let mut n = 100_000usize;
+    let mut out = std::path::PathBuf::from("BENCH_kdtree.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => n = args.next().expect("--n requires a value").parse().expect("--n <points>"),
+            "--out" => out = args.next().expect("--out requires a path").into(),
+            "--bench" => {} // appended by `cargo bench`
+            other => panic!("unknown argument: {other} (flags: --n <points> --out <json>)"),
+        }
+    }
 
-    bench("bulk_build_20k", 10, || KdTree::build(&data).len());
+    let mut records: Vec<BenchRecord> = Vec::new();
 
-    bench("incremental_insert_20k", 10, || {
-        let mut tree = KdTree::new_empty(&data);
-        for id in 0..data.len() {
+    // Primary workload: clustered 2-d, the acceptance surface for the packed
+    // tree (one range count per point is the Ex-DPC density phase).
+    let data2 = clustered_2d(n);
+    println!("kd_tree clustered 2d (n = {})", data2.len());
+    run_suite(&mut records, &data2, 10.0, "2d");
+
+    let mut inserted = 0usize;
+    records.push(bench_record("arena_incremental_insert_2d", data2.len(), 2, 5, || {
+        let mut tree = IncrementalKdTree::new(&data2);
+        for id in 0..data2.len() {
             tree.insert(id);
         }
-        tree.len()
-    });
+        inserted = tree.len();
+        inserted
+    }));
 
-    let tree = KdTree::build(&data);
-    let mut i = 0usize;
-    bench("range_count_dcut_250", 2_000, || {
-        i = (i + 97) % data.len();
-        black_box(tree.range_count(data.point(i), 250.0, Some(i)))
-    });
+    // Secondary workload: uniform 3-d at n/4, covering the d = 3 kernel and
+    // low-selectivity queries.
+    let n3 = (n / 4).max(1_000);
+    let data3 = uniform(n3, 3, 1_000.0, 7);
+    println!("kd_tree uniform 3d (n = {n3})");
+    run_suite(&mut records, &data3, 60.0, "3d");
 
-    let mut j = 0usize;
-    bench("nearest_neighbor", 2_000, || {
-        j = (j + 31) % data.len();
-        black_box(tree.nearest_neighbor(data.point(j), Some(j)))
-    });
+    // Headline number: the ρ-phase primitive, packed vs the seed arena layout.
+    let speedup = |kernel: &str| {
+        let find = |name: &str| {
+            records.iter().find(|r| r.kernel == name).map(|r| r.mean_secs).unwrap_or(f64::NAN)
+        };
+        find(&format!("arena_{kernel}")) / find(&format!("packed_{kernel}"))
+    };
+    println!();
+    println!("range_count speedup (2d, mean): {:.2}x", speedup("range_count_2d"));
+    println!("range_search speedup (2d, mean): {:.2}x", speedup("range_search_2d"));
+    println!("nearest_neighbor speedup (2d, mean): {:.2}x", speedup("nearest_neighbor_2d"));
+
+    write_bench_json(&out, "kd_tree", &records).expect("write BENCH json");
+    println!("wrote {}", out.display());
 }

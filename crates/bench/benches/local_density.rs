@@ -1,10 +1,13 @@
-//! Benchmark of the local-density (ρ) kernels across algorithms.
+//! Benchmark of the local-density (ρ) kernels across algorithms: the full
+//! linear scan, the R-tree, the seed's arena kd-tree, and the packed
+//! leaf-bucketed kd-tree that Ex-DPC now uses.
 
 use dpc_baselines::{RtreeScan, Scan};
 use dpc_bench::micro::bench;
 use dpc_bench::{default_params, BenchDataset};
+use dpc_core::framework::jittered_density;
 use dpc_core::ExDpc;
-use dpc_index::{KdTree, RTree};
+use dpc_index::{IncrementalKdTree, KdTree, RTree};
 
 const N: usize = 8_000;
 
@@ -21,7 +24,19 @@ fn main() {
     let rtree = RTree::build(&data);
     bench("rtree", 5, || rtree_scan.local_densities(&data, &rtree));
 
+    // Seed reference: the one-point-per-node arena tree (single-threaded loop,
+    // same as the packed kernel below at threads = 1).
+    let arena = IncrementalKdTree::build(&data);
+    bench("exdpc_arena_kdtree", 5, || {
+        (0..data.len())
+            .map(|i| {
+                let count = arena.range_count(data.point(i), params.dcut, Some(i));
+                jittered_density(count, i, params.jitter_seed)
+            })
+            .collect::<Vec<f64>>()
+    });
+
     let exdpc = ExDpc::new(params);
     let kdtree = KdTree::build(&data);
-    bench("exdpc_kdtree", 5, || exdpc.local_densities(&data, &kdtree));
+    bench("exdpc_packed_kdtree", 5, || exdpc.local_densities(&data, &kdtree));
 }

@@ -5,8 +5,23 @@
 //! calls [`bench`] per kernel: warm up once, run a fixed number of iterations,
 //! print min / mean wall-clock. Good enough to read relative orderings (who is
 //! faster than whom), which is all the paper-shape assertions need.
+//!
+//! Benches that track a perf trajectory across PRs additionally record each
+//! kernel as a [`BenchRecord`] and write a machine-readable `BENCH_*.json`
+//! via [`write_bench_json`]. The schema is documented in `crates/bench/README.md`:
+//!
+//! ```json
+//! {
+//!   "bench": "<bench binary name>",
+//!   "results": [
+//!     {"kernel": "...", "n": 100000, "d": 2, "iters": 2000,
+//!      "min_secs": 1.2e-5, "mean_secs": 1.4e-5}
+//!   ]
+//! }
+//! ```
 
 use std::hint::black_box;
+use std::io::Write;
 use std::time::Instant;
 
 /// Times `f` over `iters` iterations (after one warm-up call) and prints
@@ -29,6 +44,91 @@ pub fn bench<R, F: FnMut() -> R>(label: &str, iters: usize, mut f: F) -> f64 {
     mean
 }
 
+/// One timed kernel, as recorded in a `BENCH_*.json` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Kernel label (e.g. `packed_range_count`).
+    pub kernel: String,
+    /// Dataset cardinality the kernel ran against.
+    pub n: usize,
+    /// Dataset dimensionality.
+    pub d: usize,
+    /// Timed iterations (after one warm-up call).
+    pub iters: usize,
+    /// Fastest observed iteration, seconds.
+    pub min_secs: f64,
+    /// Mean over all timed iterations, seconds.
+    pub mean_secs: f64,
+}
+
+/// Like [`bench`], but also returns the structured record for JSON emission.
+pub fn bench_record<R, F: FnMut() -> R>(
+    kernel: &str,
+    n: usize,
+    d: usize,
+    iters: usize,
+    mut f: F,
+) -> BenchRecord {
+    assert!(iters > 0, "at least one iteration is required");
+    black_box(f());
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let secs = start.elapsed().as_secs_f64();
+        total += secs;
+        min = min.min(secs);
+    }
+    let mean = total / iters as f64;
+    println!(
+        "{kernel:<40} min {min:>12.9}s  mean {mean:>12.9}s  ({iters} iters, n = {n}, d = {d})"
+    );
+    BenchRecord { kernel: kernel.to_string(), n, d, iters, min_secs: min, mean_secs: mean }
+}
+
+/// Serialises records to the documented `BENCH_*.json` schema (hand-rolled;
+/// the container has no serde) and writes them to `path`.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    bench_name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": {},\n  \"results\": [\n", json_string(bench_name)));
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": {}, \"n\": {}, \"d\": {}, \"iters\": {}, \"min_secs\": {:e}, \"mean_secs\": {:e}}}{}\n",
+            json_string(&r.kernel),
+            r.n,
+            r.d,
+            r.iters,
+            r.min_secs,
+            r.mean_secs,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+/// Minimal JSON string escaping for the labels used here.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +139,50 @@ mod tests {
         let mean = bench("noop", 3, || calls += 1);
         assert!(mean >= 0.0);
         assert_eq!(calls, 4); // warm-up + 3 timed
+    }
+
+    #[test]
+    fn bench_record_populates_all_fields() {
+        let mut calls = 0usize;
+        let rec = bench_record("kernel_x", 1000, 2, 5, || calls += 1);
+        assert_eq!(calls, 6);
+        assert_eq!(rec.kernel, "kernel_x");
+        assert_eq!((rec.n, rec.d, rec.iters), (1000, 2, 5));
+        assert!(rec.min_secs >= 0.0 && rec.mean_secs >= rec.min_secs);
+    }
+
+    #[test]
+    fn json_output_matches_schema() {
+        let records = vec![
+            BenchRecord {
+                kernel: "a\"b".into(),
+                n: 10,
+                d: 2,
+                iters: 3,
+                min_secs: 1.5e-6,
+                mean_secs: 2.0e-6,
+            },
+            BenchRecord {
+                kernel: "plain".into(),
+                n: 20,
+                d: 3,
+                iters: 4,
+                min_secs: 0.5,
+                mean_secs: 0.75,
+            },
+        ];
+        // Per-process directory: concurrent test runs must not race on the file.
+        let dir = std::env::temp_dir().join(format!("dpc_bench_json_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        write_bench_json(&path, "kd_tree", &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"kd_tree\""));
+        assert!(text.contains("\"kernel\": \"a\\\"b\""));
+        assert!(text.contains("\"n\": 10"));
+        assert!(text.contains("\"mean_secs\":"));
+        // Two records → exactly one separating comma between result objects.
+        assert_eq!(text.matches("{\"kernel\"").count(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 }

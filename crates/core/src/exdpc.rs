@@ -1,20 +1,23 @@
 //! Ex-DPC: the exact kd-tree based algorithm (§3).
 //!
-//! * **Local density** — one kd-tree range count per point with radius `d_cut`
-//!   (Lemma 1: `O(n(n^{1-1/d} + ρ_avg))`). The loop is embarrassingly parallel
-//!   and is scheduled dynamically so that points in dense regions (whose range
-//!   searches return more results) do not serialise behind a static split.
+//! * **Local density** — one range count per point with radius `d_cut` against
+//!   the packed static [`KdTree`] (Lemma 1: `O(n(n^{1-1/d} + ρ_avg))`). The
+//!   loop is embarrassingly parallel and is scheduled dynamically so that
+//!   points in dense regions (whose range searches return more results) do not
+//!   serialise behind a static split.
 //! * **Dependent points** — the key idea of the paper: destroy the tree, sort
-//!   the points by decreasing local density, and re-insert them one at a time;
-//!   when point `p_i` is about to be inserted, the tree contains exactly the
-//!   points with higher density, so a nearest-neighbour query returns the exact
-//!   dependent point (Lemma 2). This phase is inherently sequential — the
-//!   stated limitation of Ex-DPC that motivates Approx-DPC.
+//!   the points by decreasing local density, and re-insert them one at a time
+//!   into an [`IncrementalKdTree`]; when point `p_i` is about to be inserted,
+//!   the tree contains exactly the points with higher density, so a
+//!   nearest-neighbour query returns the exact dependent point (Lemma 2). This
+//!   phase is inherently sequential — the stated limitation of Ex-DPC that
+//!   motivates Approx-DPC — and is why the mutable arena tree survives as a
+//!   separate type next to the packed one.
 
 use std::time::Instant;
 
 use dpc_geometry::Dataset;
-use dpc_index::KdTree;
+use dpc_index::{IncrementalKdTree, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
@@ -69,7 +72,7 @@ impl ExDpc {
         let order = descending_density_order(rho);
         // Step 1 & 3 of the §3 procedure: the densest point keeps δ = ∞ and
         // becomes the first tree entry.
-        let mut tree = KdTree::new_empty(data);
+        let mut tree = IncrementalKdTree::new(data);
         tree.insert(order[0]);
         for &i in order.iter().skip(1) {
             let (nn, dist) = tree

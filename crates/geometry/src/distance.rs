@@ -8,13 +8,52 @@
 
 /// Squared Euclidean distance between two coordinate slices.
 ///
+/// Dispatches to fully unrolled kernels for the common low dimensionalities
+/// (`d = 2` and `d = 3`, the bulk of the paper's workloads) and falls back to
+/// the generic loop otherwise. All kernels accumulate terms in the same axis
+/// order, so results are bit-identical across the dispatch paths.
+///
 /// # Panics
-/// Panics (in debug builds) if the slices have different lengths; in release
-/// builds the shorter length is used, which would be a logic error upstream, so
-/// callers must only pass same-dimensional slices.
+/// Panics (in debug builds) if the slices have different lengths. Callers must
+/// only pass same-dimensional slices: in release builds a mismatch either uses
+/// the shorter length (generic path) or panics on an out-of-bounds index
+/// (unrolled paths), both of which are logic errors upstream.
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    match a.len() {
+        2 => dist_sq_2(a, b),
+        3 => dist_sq_3(a, b),
+        _ => dist_sq_generic(a, b),
+    }
+}
+
+/// Unrolled `d = 2` squared-distance kernel.
+///
+/// # Panics
+/// Panics if either slice is shorter than 2.
+#[inline]
+pub fn dist_sq_2(a: &[f64], b: &[f64]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+/// Unrolled `d = 3` squared-distance kernel.
+///
+/// # Panics
+/// Panics if either slice is shorter than 3.
+#[inline]
+pub fn dist_sq_3(a: &[f64], b: &[f64]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Generic squared-distance loop for arbitrary dimensionality.
+#[inline]
+pub fn dist_sq_generic(a: &[f64], b: &[f64]) -> f64 {
     let mut acc = 0.0;
     for (x, y) in a.iter().zip(b.iter()) {
         let diff = x - y;
@@ -78,6 +117,29 @@ mod tests {
     fn dist_matches_pythagoras() {
         assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn specialized_kernels_are_bit_identical_to_generic() {
+        let samples = [
+            (vec![1.5, -2.25], vec![0.125, 7.75]),
+            (vec![1e-9, 1e9], vec![-3.5, 2.0]),
+            (vec![0.1, 0.2, 0.3], vec![-0.4, 0.5, -0.6]),
+            (vec![1e8, -1e8, 1e-8], vec![0.0, 0.0, 0.0]),
+        ];
+        for (a, b) in &samples {
+            let generic = dist_sq_generic(a, b);
+            assert_eq!(dist_sq(a, b), generic);
+            match a.len() {
+                2 => assert_eq!(dist_sq_2(a, b), generic),
+                3 => assert_eq!(dist_sq_3(a, b), generic),
+                _ => unreachable!(),
+            }
+        }
+        // Higher dimensionalities take the generic path.
+        let a = vec![1.0; 8];
+        let b = vec![3.0; 8];
+        assert_eq!(dist_sq(&a, &b), 32.0);
     }
 
     #[test]

@@ -59,12 +59,17 @@ impl Grid {
             by_key: HashMap::new(),
             point_cell: Vec::with_capacity(data.len()),
         };
+        // The lookup key is computed into one reused scratch buffer; a boxed
+        // key is only allocated when the probe discovers a brand-new cell, so
+        // the point→cell pass allocates O(#cells) keys rather than O(n).
+        let mut scratch: Vec<i64> = Vec::with_capacity(dim);
         for (id, coords) in data.iter() {
-            let key = grid.key_of(coords);
-            let cell_id = match grid.by_key.get(&key) {
+            grid.fill_key(coords, &mut scratch);
+            let cell_id = match grid.by_key.get(scratch.as_slice()) {
                 Some(&cid) => cid,
                 None => {
                     let cid = grid.cells.len();
+                    let key: CellKey = scratch.clone().into_boxed_slice();
                     grid.cells.push(Cell { key: key.clone(), points: Vec::new() });
                     grid.by_key.insert(key, cid);
                     cid
@@ -76,21 +81,41 @@ impl Grid {
         grid
     }
 
-    /// The integer cell key of an arbitrary coordinate.
-    pub fn key_of(&self, coords: &[f64]) -> CellKey {
+    /// Computes the integer cell key of `coords` into a reused buffer.
+    fn fill_key(&self, coords: &[f64], key: &mut Vec<i64>) {
         debug_assert_eq!(coords.len(), self.dim);
-        coords
-            .iter()
-            .zip(self.origin.iter())
-            .map(|(&c, &o)| ((c - o) / self.side).floor() as i64)
-            .collect::<Vec<_>>()
-            .into_boxed_slice()
+        key.clear();
+        key.extend(
+            coords
+                .iter()
+                .zip(self.origin.iter())
+                .map(|(&c, &o)| ((c - o) / self.side).floor() as i64),
+        );
+    }
+
+    /// The integer cell key of an arbitrary coordinate (allocating convenience
+    /// form of the scratch-buffer lookup the hot paths use).
+    pub fn key_of(&self, coords: &[f64]) -> CellKey {
+        let mut key = Vec::with_capacity(self.dim);
+        self.fill_key(coords, &mut key);
+        key.into_boxed_slice()
     }
 
     /// The cell containing an arbitrary coordinate, if such a cell exists
     /// (i.e. if at least one dataset point shares that cell).
     pub fn cell_at(&self, coords: &[f64]) -> Option<CellId> {
-        self.by_key.get(&self.key_of(coords)).copied()
+        let mut scratch = Vec::with_capacity(self.dim);
+        self.cell_at_scratch(coords, &mut scratch)
+    }
+
+    /// Same as [`Grid::cell_at`] but computes the probe key into a
+    /// caller-reusable buffer, so repeated probes (point→cell lookups,
+    /// neighbour enumeration) are allocation-free. The `HashMap` is keyed by
+    /// `Box<[i64]>`, whose `Borrow<[i64]>` impl lets the probe hash and compare
+    /// a plain slice without boxing it.
+    pub fn cell_at_scratch(&self, coords: &[f64], scratch: &mut Vec<i64>) -> Option<CellId> {
+        self.fill_key(coords, scratch);
+        self.by_key.get(scratch.as_slice()).copied()
     }
 
     /// The cell containing dataset point `point_id`.
@@ -258,6 +283,19 @@ mod tests {
             assert_eq!(grid.cell_by_key(&key), Some(grid.cell_of(id)));
         }
         assert_eq!(grid.cell_at(&[-500.0, -500.0]), None);
+    }
+
+    #[test]
+    fn cell_at_scratch_matches_cell_at() {
+        let ds = square_dataset();
+        let grid = Grid::build(&ds, 7.0);
+        let mut scratch = Vec::new();
+        for (_, coords) in ds.iter() {
+            assert_eq!(grid.cell_at_scratch(coords, &mut scratch), grid.cell_at(coords));
+        }
+        assert_eq!(grid.cell_at_scratch(&[-500.0, -500.0], &mut scratch), None);
+        // The scratch buffer holds the last probed key.
+        assert_eq!(scratch.as_slice(), grid.key_of(&[-500.0, -500.0]).as_ref());
     }
 
     #[test]

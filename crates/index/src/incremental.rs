@@ -1,0 +1,347 @@
+//! The pointer-arena kd-tree with **incremental insertion**.
+//!
+//! This is the tree Ex-DPC rebuilds one point at a time during its
+//! dependent-point phase (§3): points are inserted in descending local-density
+//! order so that, when point `p_i` is about to be inserted, the tree contains
+//! exactly the points with higher local density, and a nearest-neighbour query
+//! retrieves the exact dependent point.
+//!
+//! The static, bulk-built index used by the local-density phase is the packed
+//! [`KdTree`](crate::KdTree); it is immutable by design, which is what allows
+//! its contiguous leaf-bucket layout. This arena tree keeps the seed's
+//! one-point-per-node representation **and** the seed's balanced bulk
+//! construction ([`IncrementalKdTree::build`]), so it doubles as the reference
+//! implementation that benches and property tests compare the packed tree
+//! against.
+
+use dpc_geometry::distance::dist_sq;
+use dpc_geometry::Dataset;
+
+const NONE: u32 = u32::MAX;
+
+/// One arena node. `left`/`right` are arena indices (`NONE` when absent).
+#[derive(Clone, Debug)]
+struct Node {
+    /// Point identifier in the backing dataset.
+    id: u32,
+    /// Splitting axis of this node.
+    axis: u8,
+    left: u32,
+    right: u32,
+}
+
+/// A one-point-per-node kd-tree over the points of a borrowed [`Dataset`],
+/// supporting incremental insertion.
+pub struct IncrementalKdTree<'a> {
+    data: &'a Dataset,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl<'a> IncrementalKdTree<'a> {
+    /// Creates an empty tree bound to `data`; points are added with
+    /// [`IncrementalKdTree::insert`].
+    pub fn new(data: &'a Dataset) -> Self {
+        Self { data, nodes: Vec::with_capacity(data.len()), root: NONE }
+    }
+
+    /// Builds a balanced tree over every point of `data` by recursive median
+    /// splitting (split axis cycles through the dimensions). This is the seed
+    /// construction; kept as the baseline the packed tree is measured against.
+    pub fn build(data: &'a Dataset) -> Self {
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut tree = Self { data, nodes: Vec::with_capacity(data.len()), root: NONE };
+        if !ids.is_empty() {
+            tree.root = tree.build_rec(&mut ids, 0);
+        }
+        tree
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32], depth: usize) -> u32 {
+        let axis = depth % self.data.dim();
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            let ca = self.data.point(a as usize)[axis];
+            let cb = self.data.point(b as usize)[axis];
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let id = ids[mid];
+        let node_idx = self.nodes.len() as u32;
+        self.nodes.push(Node { id, axis: axis as u8, left: NONE, right: NONE });
+        let (lo, rest) = ids.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = if lo.is_empty() { NONE } else { self.build_rec(lo, depth + 1) };
+        let right = if hi.is_empty() { NONE } else { self.build_rec(hi, depth + 1) };
+        let node = &mut self.nodes[node_idx as usize];
+        node.left = left;
+        node.right = right;
+        node_idx
+    }
+
+    /// Number of points currently in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts point `id` (an identifier into the backing dataset).
+    ///
+    /// Insertion follows the usual kd-tree rule: at a node splitting on `axis`,
+    /// descend left when the new point's coordinate is strictly smaller than the
+    /// node's coordinate and right otherwise. The incremental tree is not
+    /// rebalanced; Ex-DPC inserts points in local-density order, which is
+    /// essentially random with respect to the coordinates, so the expected depth
+    /// stays `O(log n)` as the paper's analysis assumes.
+    pub fn insert(&mut self, id: usize) {
+        debug_assert!(id < self.data.len());
+        let dim = self.data.dim();
+        let new_idx = self.nodes.len() as u32;
+        if self.root == NONE {
+            self.nodes.push(Node { id: id as u32, axis: 0, left: NONE, right: NONE });
+            self.root = new_idx;
+            return;
+        }
+        let p = self.data.point(id);
+        let mut cur = self.root;
+        loop {
+            let node = &self.nodes[cur as usize];
+            let axis = node.axis as usize;
+            let node_coord = self.data.point(node.id as usize)[axis];
+            let go_left = p[axis] < node_coord;
+            let child = if go_left { node.left } else { node.right };
+            if child == NONE {
+                let child_axis = ((axis + 1) % dim) as u8;
+                self.nodes.push(Node { id: id as u32, axis: child_axis, left: NONE, right: NONE });
+                let node = &mut self.nodes[cur as usize];
+                if go_left {
+                    node.left = new_idx;
+                } else {
+                    node.right = new_idx;
+                }
+                return;
+            }
+            cur = child;
+        }
+    }
+
+    /// Counts points whose distance to `query` is strictly less than `radius`,
+    /// **excluding** the point whose identifier equals `exclude` (pass `None`
+    /// to count every point).
+    pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
+        if self.root == NONE || radius <= 0.0 {
+            return 0;
+        }
+        let mut count = 0usize;
+        let r_sq = radius * radius;
+        let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
+        self.range_count_rec(self.root, query, radius, r_sq, excl, &mut count);
+        count
+    }
+
+    fn range_count_rec(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        radius: f64,
+        r_sq: f64,
+        exclude: u32,
+        count: &mut usize,
+    ) {
+        let node = &self.nodes[node_idx as usize];
+        let coords = self.data.point(node.id as usize);
+        if node.id != exclude && dist_sq(query, coords) < r_sq {
+            *count += 1;
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - coords[axis];
+        // The near side always has to be visited; the far side only when the
+        // splitting plane is within `radius` of the query.
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.range_count_rec(near, query, radius, r_sq, exclude, count);
+        }
+        if far != NONE && diff.abs() < radius {
+            self.range_count_rec(far, query, radius, r_sq, exclude, count);
+        }
+    }
+
+    /// Collects the identifiers of points whose distance to `query` is strictly
+    /// less than `radius`.
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.range_search_into(query, radius, &mut out);
+        out
+    }
+
+    /// Same as [`IncrementalKdTree::range_search`] but appends into a
+    /// caller-provided buffer.
+    pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.root == NONE || radius <= 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        self.range_search_rec(self.root, query, radius, r_sq, out);
+    }
+
+    fn range_search_rec(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        radius: f64,
+        r_sq: f64,
+        out: &mut Vec<usize>,
+    ) {
+        let node = &self.nodes[node_idx as usize];
+        let coords = self.data.point(node.id as usize);
+        if dist_sq(query, coords) < r_sq {
+            out.push(node.id as usize);
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - coords[axis];
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.range_search_rec(near, query, radius, r_sq, out);
+        }
+        if far != NONE && diff.abs() < radius {
+            self.range_search_rec(far, query, radius, r_sq, out);
+        }
+    }
+
+    /// Finds the nearest neighbour of `query` among the indexed points,
+    /// excluding the point whose identifier equals `exclude` (if given).
+    ///
+    /// Returns `(point id, distance)` or `None` when the tree is empty (or only
+    /// contains the excluded point).
+    pub fn nearest_neighbor(&self, query: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
+        if self.root == NONE {
+            return None;
+        }
+        let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
+        let mut best: Option<(u32, f64)> = None;
+        self.nn_rec(self.root, query, excl, &mut best);
+        best.map(|(id, d_sq)| (id as usize, d_sq.sqrt()))
+    }
+
+    fn nn_rec(&self, node_idx: u32, query: &[f64], exclude: u32, best: &mut Option<(u32, f64)>) {
+        let node = &self.nodes[node_idx as usize];
+        let coords = self.data.point(node.id as usize);
+        if node.id != exclude {
+            let d_sq = dist_sq(query, coords);
+            if best.is_none_or(|(_, b)| d_sq < b) {
+                *best = Some((node.id, d_sq));
+            }
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - coords[axis];
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.nn_rec(near, query, exclude, best);
+        }
+        if far != NONE {
+            let plane_sq = diff * diff;
+            if best.is_none_or(|(_, b)| plane_sq < b) {
+                self.nn_rec(far, query, exclude, best);
+            }
+        }
+    }
+
+    /// Approximate heap memory used by the index, in bytes (arena nodes only;
+    /// the coordinates belong to the dataset).
+    pub fn mem_usage(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{brute_nn, random_dataset};
+    use dpc_geometry::dist;
+    use dpc_rng::StdRng;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let ds = Dataset::new(2);
+        let tree = IncrementalKdTree::new(&ds);
+        assert!(tree.is_empty());
+        assert_eq!(tree.range_count(&[0.0, 0.0], 10.0, None), 0);
+        assert!(tree.range_search(&[0.0, 0.0], 10.0).is_empty());
+        assert!(tree.nearest_neighbor(&[0.0, 0.0], None).is_none());
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_queries() {
+        let ds = random_dataset(300, 3, 123);
+        let bulk = IncrementalKdTree::build(&ds);
+        let mut inc = IncrementalKdTree::new(&ds);
+        for id in 0..ds.len() {
+            inc.insert(id);
+        }
+        assert_eq!(inc.len(), bulk.len());
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..40 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let r = rng.gen_range(5.0..30.0);
+            assert_eq!(inc.range_count(&q, r, None), bulk.range_count(&q, r, None));
+            let a = inc.nearest_neighbor(&q, None).unwrap();
+            let b = bulk.nearest_neighbor(&q, None).unwrap();
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_partial_tree_sees_only_inserted_points() {
+        let ds = random_dataset(100, 2, 9);
+        let mut tree = IncrementalKdTree::new(&ds);
+        for id in 0..50 {
+            tree.insert(id);
+        }
+        let q = ds.point(75).to_vec();
+        let sub = ds.select(&(0..50).collect::<Vec<_>>());
+        let want = brute_nn(&sub, &q, None).unwrap();
+        let got = tree.nearest_neighbor(&q, None).unwrap();
+        assert!((got.1 - want.1).abs() < 1e-9);
+        assert!(got.0 < 50, "must only return inserted ids");
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_brute_force() {
+        let ds = random_dataset(400, 2, 99);
+        let tree = IncrementalKdTree::build(&ds);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..60 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let (got_id, got_d) = tree.nearest_neighbor(&q, None).unwrap();
+            let (want_id, want_d) = brute_nn(&ds, &q, None).unwrap();
+            assert!((got_d - want_d).abs() < 1e-9, "distance mismatch");
+            // Ties are possible with random data but vanishingly unlikely;
+            // compare distances rather than ids to stay robust.
+            assert!((dist(&q, ds.point(got_id)) - dist(&q, ds.point(want_id))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exclusion_is_honoured() {
+        let ds = Dataset::from_flat(2, vec![5.0, 5.0]);
+        let mut tree = IncrementalKdTree::new(&ds);
+        tree.insert(0);
+        assert_eq!(tree.range_count(&[5.0, 5.0], 1.0, None), 1);
+        assert_eq!(tree.range_count(&[5.0, 5.0], 1.0, Some(0)), 0);
+        assert!(tree.nearest_neighbor(&[0.0, 0.0], Some(0)).is_none());
+    }
+
+    #[test]
+    fn mem_usage_scales_with_len() {
+        let ds = random_dataset(128, 2, 2);
+        let tree = IncrementalKdTree::build(&ds);
+        assert!(tree.mem_usage() >= 128 * std::mem::size_of::<u32>());
+    }
+}

@@ -1,187 +1,235 @@
-//! An in-memory kd-tree over a [`Dataset`].
+//! A packed, static, leaf-bucketed kd-tree over a [`Dataset`].
 //!
-//! The tree stores point identifiers only; coordinates are always read from the
-//! borrowed dataset, so the index costs `O(n)` extra space (one arena node per
-//! point) as required by the paper's space analysis (Theorem 3).
+//! This is the workhorse index of the local-density phase — the dominant cost
+//! of every algorithm in the paper (Ex-DPC issues one range count per point,
+//! Approx-DPC/S-Approx-DPC one range search per cell/seed) — so its layout is
+//! chosen for query throughput rather than for updatability:
 //!
-//! Two construction modes are provided:
+//! * **Packed leaf buckets.** Bulk construction permutes the point identifiers
+//!   into one contiguous array, recursively median-split until a subtree holds
+//!   at most [`LEAF_BUCKET`] points. The coordinates of the permuted points
+//!   are copied into a matching row-major buffer, so scanning a leaf reads one
+//!   contiguous memory strip instead of chasing one arena node per point.
+//! * **Flat inner nodes.** Nodes live in a preorder `Vec`: a node's left child
+//!   is always the next node, only the right child index is stored. Every node
+//!   records its packed range `start..end` (hence its subtree size `end −
+//!   start`) and its exact bounding box (in a parallel `bounds` buffer,
+//!   `2·dim` values per node).
+//! * **Three-way pruning on counting.** A range count visits a node and
+//!   compares the query ball against the node's box: fully outside → skip,
+//!   fully inside → add `end − start` without visiting a single point,
+//!   otherwise descend (scanning the bucket when the node is a leaf). The
+//!   fully-inside case is what a counting query admits over a reporting one,
+//!   and on clustered data it removes most leaf scans.
+//! * **Allocation-free queries.** Traversal uses a fixed-size explicit stack
+//!   (the tree is balanced, so its depth is at most `⌈log₂(n / LEAF_BUCKET)⌉ +
+//!   1 < 32` for any `n` addressable by `u32`), and reporting queries append
+//!   into a caller-reusable buffer via [`KdTree::range_search_into`]. Leaf
+//!   scans dispatch to the unrolled `d = 2` / `d = 3` distance kernels of
+//!   `dpc_geometry`.
 //!
-//! * [`KdTree::build`] — balanced bulk construction by median splits, used for
-//!   local-density computation (one range query per point / per cell).
-//! * [`KdTree::new_empty`] + [`KdTree::insert`] — incremental insertion in a
-//!   caller-chosen order. Ex-DPC inserts points in descending local-density
-//!   order so that, when point `p_i` is about to be inserted, the tree contains
-//!   exactly the points with higher local density, and a nearest-neighbour
-//!   query retrieves the exact dependent point (§3).
+//! The index stores `O(n)` identifiers plus `O(n·d)` packed coordinates and
+//! `O(n/LEAF_BUCKET)` nodes — `O(n)` space for fixed `d`, as the paper's space
+//! analysis (Theorem 3) requires.
+//!
+//! The tree is immutable. Ex-DPC's dependent-point phase, which needs
+//! incremental insertion in density order, uses the separate
+//! [`IncrementalKdTree`](crate::IncrementalKdTree) arena tree; keeping mutation
+//! out of this type is what allows the packed layout.
 
-use dpc_geometry::distance::dist_sq;
+use dpc_geometry::distance::{
+    dist_sq, dist_sq_2, dist_sq_3, max_dist_sq_to_rect, min_dist_sq_to_rect,
+};
 use dpc_geometry::Dataset;
+
+/// Maximum number of points per leaf bucket. Buckets are scanned linearly, so
+/// the value trades tree depth (build cost, inner-node overhead) against scan
+/// length; 16 keeps a 2-d bucket within two cache lines of coordinates.
+pub const LEAF_BUCKET: usize = 16;
+
+/// Capacity of the fixed traversal stacks. A balanced tree over `u32`-indexed
+/// points has depth ≤ ⌈log₂(2³² / 16)⌉ + 1 = 29, and a depth-first traversal
+/// that pushes both children keeps at most depth + 1 entries.
+const STACK_CAP: usize = 64;
 
 const NONE: u32 = u32::MAX;
 
-/// One arena node. `left`/`right` are arena indices (`NONE` when absent).
+/// One flat tree node. The node covers packed positions `start..end`; its
+/// subtree size is `end - start`. Inner nodes have their left child at the
+/// next node index (preorder layout) and `right` holds the right child; leaves
+/// have `right == NONE`.
 #[derive(Clone, Debug)]
 struct Node {
-    /// Point identifier in the backing dataset.
-    id: u32,
-    /// Splitting axis of this node.
-    axis: u8,
-    left: u32,
+    start: u32,
+    end: u32,
     right: u32,
 }
 
-/// A kd-tree over the points of a borrowed [`Dataset`].
+/// A packed static kd-tree over the points of a borrowed [`Dataset`].
 pub struct KdTree<'a> {
     data: &'a Dataset,
+    dim: usize,
+    /// Point identifiers in packed (partition) order.
+    ids: Vec<u32>,
+    /// Coordinates of `ids` in the same order, row-major. Leaf scans read this
+    /// buffer sequentially.
+    coords: Vec<f64>,
+    /// `pos[id]` = packed position of dataset point `id`, or `NONE` when the
+    /// point is not indexed. Only materialised by [`KdTree::build`] (it would
+    /// cost `O(data.len())` per subset tree otherwise); used for the `O(1)`
+    /// "is the excluded point inside this subtree" test.
+    pos: Option<Vec<u32>>,
     nodes: Vec<Node>,
-    root: u32,
+    /// Per-node bounding boxes: `dim` lows then `dim` highs per node.
+    bounds: Vec<f64>,
 }
 
 impl<'a> KdTree<'a> {
-    /// Builds a balanced kd-tree over every point of `data` by recursive median
-    /// splitting (split axis cycles through the dimensions).
+    /// Builds the packed tree over every point of `data`.
     pub fn build(data: &'a Dataset) -> Self {
-        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
-        let mut tree = Self { data, nodes: Vec::with_capacity(data.len()), root: NONE };
-        if !ids.is_empty() {
-            tree.root = tree.build_rec(&mut ids, 0);
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut tree = Self::build_from_ids(data, ids);
+        let mut pos = vec![NONE; data.len()];
+        for (p, &id) in tree.ids.iter().enumerate() {
+            pos[id as usize] = p as u32;
         }
+        tree.pos = Some(pos);
         tree
     }
 
-    /// Builds a balanced kd-tree over a subset of point identifiers.
+    /// Builds the packed tree over a subset of point identifiers.
     ///
-    /// Used by Approx-DPC's exact dependent-point fallback, which partitions `P`
-    /// into `s` subsets ordered by local density and indexes each one.
+    /// Used by Approx-DPC's exact dependent-point fallback, which partitions
+    /// `P` into `s` subsets ordered by local density and indexes each one.
     pub fn build_subset(data: &'a Dataset, ids: &[usize]) -> Self {
-        let mut ids: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-        let mut tree = Self { data, nodes: Vec::with_capacity(ids.len()), root: NONE };
-        if !ids.is_empty() {
-            tree.root = tree.build_rec(&mut ids, 0);
+        let ids: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
+        Self::build_from_ids(data, ids)
+    }
+
+    fn build_from_ids(data: &'a Dataset, mut ids: Vec<u32>) -> Self {
+        let dim = data.dim();
+        let n = ids.len();
+        let node_cap = if n == 0 { 0 } else { 2 * n.div_ceil(LEAF_BUCKET) };
+        let mut nodes = Vec::with_capacity(node_cap);
+        let mut bounds = Vec::with_capacity(node_cap * 2 * dim);
+        if n > 0 {
+            build_rec(data, &mut ids, 0, n, &mut nodes, &mut bounds, dim);
         }
-        tree
+        let mut coords = Vec::with_capacity(n * dim);
+        for &id in &ids {
+            coords.extend_from_slice(data.point(id as usize));
+        }
+        Self { data, dim, ids, coords, pos: None, nodes, bounds }
     }
 
-    /// Creates an empty tree bound to `data`; points are added with
-    /// [`KdTree::insert`].
-    pub fn new_empty(data: &'a Dataset) -> Self {
-        Self { data, nodes: Vec::with_capacity(data.len()), root: NONE }
-    }
-
-    fn build_rec(&mut self, ids: &mut [u32], depth: usize) -> u32 {
-        let axis = depth % self.data.dim();
-        let mid = ids.len() / 2;
-        ids.select_nth_unstable_by(mid, |&a, &b| {
-            let ca = self.data.point(a as usize)[axis];
-            let cb = self.data.point(b as usize)[axis];
-            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let id = ids[mid];
-        let node_idx = self.nodes.len() as u32;
-        self.nodes.push(Node { id, axis: axis as u8, left: NONE, right: NONE });
-        let (lo, rest) = ids.split_at_mut(mid);
-        let hi = &mut rest[1..];
-        let left = if lo.is_empty() { NONE } else { self.build_rec(lo, depth + 1) };
-        let right = if hi.is_empty() { NONE } else { self.build_rec(hi, depth + 1) };
-        let node = &mut self.nodes[node_idx as usize];
-        node.left = left;
-        node.right = right;
-        node_idx
-    }
-
-    /// Number of points currently in the tree.
+    /// Number of points in the tree.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ids.len()
     }
 
     /// Whether the tree holds no points.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Inserts point `id` (an identifier into the backing dataset).
-    ///
-    /// Insertion follows the usual kd-tree rule: at a node splitting on `axis`,
-    /// descend left when the new point's coordinate is strictly smaller than the
-    /// node's coordinate and right otherwise. The incremental tree is not
-    /// rebalanced; Ex-DPC inserts points in local-density order, which is
-    /// essentially random with respect to the coordinates, so the expected depth
-    /// stays `O(log n)` as the paper's analysis assumes.
-    pub fn insert(&mut self, id: usize) {
-        debug_assert!(id < self.data.len());
-        let dim = self.data.dim();
-        let new_idx = self.nodes.len() as u32;
-        if self.root == NONE {
-            self.nodes.push(Node { id: id as u32, axis: 0, left: NONE, right: NONE });
-            self.root = new_idx;
-            return;
+    /// The bounding box `(lo, hi)` of node `idx`.
+    #[inline]
+    fn node_bounds(&self, idx: usize) -> (&[f64], &[f64]) {
+        let b = &self.bounds[idx * 2 * self.dim..(idx + 1) * 2 * self.dim];
+        b.split_at(self.dim)
+    }
+
+    /// Whether the excluded point (by identifier) lies in packed positions
+    /// `start..end`. `O(1)` on full trees; subset trees fall back to scanning
+    /// the range (the exclude path is unused on subset trees in practice).
+    #[inline]
+    fn excluded_in_range(&self, start: usize, end: usize, excl_id: u32) -> bool {
+        if excl_id == NONE {
+            return false;
         }
-        let p = self.data.point(id);
-        let mut cur = self.root;
-        loop {
-            let node = &self.nodes[cur as usize];
-            let axis = node.axis as usize;
-            let node_coord = self.data.point(node.id as usize)[axis];
-            let go_left = p[axis] < node_coord;
-            let child = if go_left { node.left } else { node.right };
-            if child == NONE {
-                let child_axis = ((axis + 1) % dim) as u8;
-                self.nodes.push(Node { id: id as u32, axis: child_axis, left: NONE, right: NONE });
-                let node = &mut self.nodes[cur as usize];
-                if go_left {
-                    node.left = new_idx;
-                } else {
-                    node.right = new_idx;
-                }
-                return;
-            }
-            cur = child;
+        match &self.pos {
+            Some(pos) => match pos.get(excl_id as usize) {
+                Some(&p) => p != NONE && (p as usize) >= start && (p as usize) < end,
+                None => false,
+            },
+            None => self.ids[start..end].contains(&excl_id),
         }
     }
 
     /// Counts points whose distance to `query` is strictly less than `radius`,
-    /// **excluding** a point that coincides exactly with `query` identified by
-    /// `exclude` (pass `None` to count every point).
+    /// **excluding** the point whose identifier equals `exclude` (pass `None`
+    /// to count every point).
     ///
     /// This is the local-density primitive (Definition 1): Ex-DPC calls it once
     /// per point with `exclude = Some(i)` so that a point does not count itself.
     pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
-        if self.root == NONE || radius <= 0.0 {
+        if self.ids.is_empty() || radius <= 0.0 {
             return 0;
         }
-        let mut count = 0usize;
         let r_sq = radius * radius;
-        let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
-        self.range_count_rec(self.root, query, radius, r_sq, excl, &mut count);
+        let excl = exclude.map(|e| e as u32).unwrap_or(NONE);
+        let mut count = 0usize;
+        let mut stack = [0u32; STACK_CAP];
+        stack[0] = 0;
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node_idx = stack[top] as usize;
+            let (lo, hi) = self.node_bounds(node_idx);
+            if min_dist_sq_to_rect(query, lo, hi) >= r_sq {
+                continue; // box fully outside the ball
+            }
+            let node = &self.nodes[node_idx];
+            let (start, end) = (node.start as usize, node.end as usize);
+            if max_dist_sq_to_rect(query, lo, hi) < r_sq {
+                // Box fully inside the ball: the whole subtree contributes its
+                // size without a single point visit (subtree-count pruning).
+                count += end - start;
+                if self.excluded_in_range(start, end, excl) {
+                    count -= 1;
+                }
+            } else if node.right == NONE {
+                count += self.count_leaf(start, end, query, r_sq, excl);
+            } else {
+                stack[top] = node_idx as u32 + 1;
+                stack[top + 1] = node.right;
+                top += 2;
+            }
+        }
         count
     }
 
-    fn range_count_rec(
-        &self,
-        node_idx: u32,
-        query: &[f64],
-        radius: f64,
-        r_sq: f64,
-        exclude: u32,
-        count: &mut usize,
-    ) {
-        let node = &self.nodes[node_idx as usize];
-        let coords = self.data.point(node.id as usize);
-        if node.id != exclude && dist_sq(query, coords) < r_sq {
-            *count += 1;
+    /// Linear scan of the packed bucket `start..end`, dispatched per
+    /// dimensionality so the common `d = 2` / `d = 3` loops are fully unrolled.
+    #[inline]
+    fn count_leaf(&self, start: usize, end: usize, query: &[f64], r_sq: f64, excl: u32) -> usize {
+        let dim = self.dim;
+        let rows = &self.coords[start * dim..end * dim];
+        let mut c = 0usize;
+        match dim {
+            2 => {
+                for (k, row) in rows.chunks_exact(2).enumerate() {
+                    if dist_sq_2(query, row) < r_sq && self.ids[start + k] != excl {
+                        c += 1;
+                    }
+                }
+            }
+            3 => {
+                for (k, row) in rows.chunks_exact(3).enumerate() {
+                    if dist_sq_3(query, row) < r_sq && self.ids[start + k] != excl {
+                        c += 1;
+                    }
+                }
+            }
+            _ => {
+                for (k, row) in rows.chunks_exact(dim).enumerate() {
+                    if dist_sq(query, row) < r_sq && self.ids[start + k] != excl {
+                        c += 1;
+                    }
+                }
+            }
         }
-        let axis = node.axis as usize;
-        let diff = query[axis] - coords[axis];
-        // The near side always has to be visited; the far side only when the
-        // splitting plane is within `radius` of the query.
-        let (near, far) =
-            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NONE {
-            self.range_count_rec(near, query, radius, r_sq, exclude, count);
-        }
-        if far != NONE && diff.abs() < radius {
-            self.range_count_rec(far, query, radius, r_sq, exclude, count);
-        }
+        c
     }
 
     /// Collects the identifiers of points whose distance to `query` is strictly
@@ -195,38 +243,43 @@ impl<'a> KdTree<'a> {
 
     /// Same as [`KdTree::range_search`] but appends into a caller-provided
     /// buffer, allowing reuse across many queries (the joint range search of
-    /// Approx-DPC issues one query per cell).
+    /// Approx-DPC issues one query per cell). The buffer is cleared first.
+    ///
+    /// Result order follows the packed layout, not point-identifier order.
     pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
         out.clear();
-        if self.root == NONE || radius <= 0.0 {
+        if self.ids.is_empty() || radius <= 0.0 {
             return;
         }
         let r_sq = radius * radius;
-        self.range_search_rec(self.root, query, radius, r_sq, out);
-    }
-
-    fn range_search_rec(
-        &self,
-        node_idx: u32,
-        query: &[f64],
-        radius: f64,
-        r_sq: f64,
-        out: &mut Vec<usize>,
-    ) {
-        let node = &self.nodes[node_idx as usize];
-        let coords = self.data.point(node.id as usize);
-        if dist_sq(query, coords) < r_sq {
-            out.push(node.id as usize);
-        }
-        let axis = node.axis as usize;
-        let diff = query[axis] - coords[axis];
-        let (near, far) =
-            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NONE {
-            self.range_search_rec(near, query, radius, r_sq, out);
-        }
-        if far != NONE && diff.abs() < radius {
-            self.range_search_rec(far, query, radius, r_sq, out);
+        let dim = self.dim;
+        let mut stack = [0u32; STACK_CAP];
+        stack[0] = 0;
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node_idx = stack[top] as usize;
+            let (lo, hi) = self.node_bounds(node_idx);
+            if min_dist_sq_to_rect(query, lo, hi) >= r_sq {
+                continue;
+            }
+            let node = &self.nodes[node_idx];
+            let (start, end) = (node.start as usize, node.end as usize);
+            if max_dist_sq_to_rect(query, lo, hi) < r_sq {
+                // Whole subtree inside: report every id without distance checks.
+                out.extend(self.ids[start..end].iter().map(|&id| id as usize));
+            } else if node.right == NONE {
+                let rows = &self.coords[start * dim..end * dim];
+                for (k, row) in rows.chunks_exact(dim).enumerate() {
+                    if dist_sq(query, row) < r_sq {
+                        out.push(self.ids[start + k] as usize);
+                    }
+                }
+            } else {
+                stack[top] = node_idx as u32 + 1;
+                stack[top + 1] = node.right;
+                top += 2;
+            }
         }
     }
 
@@ -236,68 +289,144 @@ impl<'a> KdTree<'a> {
     /// Returns `(point id, distance)` or `None` when the tree is empty (or only
     /// contains the excluded point).
     pub fn nearest_neighbor(&self, query: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
-        if self.root == NONE {
+        if self.ids.is_empty() {
             return None;
         }
-        let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
-        let mut best: Option<(u32, f64)> = None;
-        self.nn_rec(self.root, query, excl, &mut best);
-        best.map(|(id, d_sq)| (id as usize, d_sq.sqrt()))
-    }
-
-    fn nn_rec(&self, node_idx: u32, query: &[f64], exclude: u32, best: &mut Option<(u32, f64)>) {
-        let node = &self.nodes[node_idx as usize];
-        let coords = self.data.point(node.id as usize);
-        if node.id != exclude {
-            let d_sq = dist_sq(query, coords);
-            if best.is_none_or(|(_, b)| d_sq < b) {
-                *best = Some((node.id, d_sq));
+        let excl = exclude.map(|e| e as u32).unwrap_or(NONE);
+        let dim = self.dim;
+        let mut best_id = NONE;
+        let mut best_d = f64::INFINITY;
+        let mut stack = [(0u32, 0.0f64); STACK_CAP];
+        {
+            let (lo, hi) = self.node_bounds(0);
+            stack[0] = (0, min_dist_sq_to_rect(query, lo, hi));
+        }
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let (node_idx, min_d) = stack[top];
+            if min_d >= best_d {
+                continue;
+            }
+            let node = &self.nodes[node_idx as usize];
+            if node.right == NONE {
+                let (start, end) = (node.start as usize, node.end as usize);
+                let rows = &self.coords[start * dim..end * dim];
+                for (k, row) in rows.chunks_exact(dim).enumerate() {
+                    if self.ids[start + k] == excl {
+                        continue;
+                    }
+                    let d = dist_sq(query, row);
+                    if d < best_d {
+                        best_d = d;
+                        best_id = self.ids[start + k];
+                    }
+                }
+            } else {
+                let left = node_idx + 1;
+                let right = node.right;
+                let (llo, lhi) = self.node_bounds(left as usize);
+                let (rlo, rhi) = self.node_bounds(right as usize);
+                let ld = min_dist_sq_to_rect(query, llo, lhi);
+                let rd = min_dist_sq_to_rect(query, rlo, rhi);
+                // Push the farther child first so the nearer one is explored
+                // first, tightening `best_d` before the far box is reconsidered.
+                if ld <= rd {
+                    stack[top] = (right, rd);
+                    stack[top + 1] = (left, ld);
+                } else {
+                    stack[top] = (left, ld);
+                    stack[top + 1] = (right, rd);
+                }
+                top += 2;
             }
         }
-        let axis = node.axis as usize;
-        let diff = query[axis] - coords[axis];
-        let (near, far) =
-            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NONE {
-            self.nn_rec(near, query, exclude, best);
-        }
-        if far != NONE {
-            let plane_sq = diff * diff;
-            if best.is_none_or(|(_, b)| plane_sq < b) {
-                self.nn_rec(far, query, exclude, best);
-            }
+        if best_id == NONE {
+            None
+        } else {
+            Some((best_id as usize, best_d.sqrt()))
         }
     }
 
-    /// Approximate heap memory used by the index, in bytes (arena nodes only;
-    /// the coordinates belong to the dataset).
+    /// The backing dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Approximate heap memory used by the index, in bytes (packed ids and
+    /// coordinates, position map, nodes, and bounding boxes; the original
+    /// coordinates belong to the dataset).
     pub fn mem_usage(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
+        self.ids.capacity() * std::mem::size_of::<u32>()
+            + self.coords.capacity() * std::mem::size_of::<f64>()
+            + self.pos.as_ref().map_or(0, |p| p.capacity() * std::mem::size_of::<u32>())
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.bounds.capacity() * std::mem::size_of::<f64>()
     }
+}
+
+/// Recursive packed construction over positions `start..end` of `ids`: records
+/// the node (preorder) with its bounding box, then median-splits on the box's
+/// widest axis until the range fits a leaf bucket.
+fn build_rec(
+    data: &Dataset,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+    bounds: &mut Vec<f64>,
+    dim: usize,
+) -> u32 {
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node { start: start as u32, end: end as u32, right: NONE });
+    let b0 = bounds.len();
+    bounds.resize(b0 + dim, f64::INFINITY);
+    bounds.resize(b0 + 2 * dim, f64::NEG_INFINITY);
+    for &id in &ids[start..end] {
+        let p = data.point(id as usize);
+        for a in 0..dim {
+            if p[a] < bounds[b0 + a] {
+                bounds[b0 + a] = p[a];
+            }
+            if p[a] > bounds[b0 + dim + a] {
+                bounds[b0 + dim + a] = p[a];
+            }
+        }
+    }
+    if end - start <= LEAF_BUCKET {
+        return node_idx;
+    }
+    // Split on the widest axis of the exact bounding box: on clustered data
+    // this keeps boxes closer to cubes than depth-cycling, which is what makes
+    // the fully-inside/fully-outside tests fire early.
+    let mut axis = 0usize;
+    let mut widest = f64::NEG_INFINITY;
+    for a in 0..dim {
+        let w = bounds[b0 + dim + a] - bounds[b0 + a];
+        if w > widest {
+            widest = w;
+            axis = a;
+        }
+    }
+    let mid = (start + end) / 2;
+    ids[start..end].select_nth_unstable_by(mid - start, |&x, &y| {
+        let cx = data.point(x as usize)[axis];
+        let cy = data.point(y as usize)[axis];
+        cx.partial_cmp(&cy).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let left = build_rec(data, ids, start, mid, nodes, bounds, dim);
+    debug_assert_eq!(left, node_idx + 1, "left child must follow its parent in preorder");
+    let right = build_rec(data, ids, mid, end, nodes, bounds, dim);
+    nodes[node_idx as usize].right = right;
+    node_idx
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_util::{brute_nn, brute_range_count, random_dataset};
     use dpc_geometry::dist;
     use dpc_rng::StdRng;
-
-    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(0.0..100.0)).collect();
-        Dataset::from_flat(dim, coords)
-    }
-
-    fn brute_range_count(ds: &Dataset, q: &[f64], r: f64, exclude: Option<usize>) -> usize {
-        ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(q, p) < r).count()
-    }
-
-    fn brute_nn(ds: &Dataset, q: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
-        ds.iter()
-            .filter(|(id, _)| Some(*id) != exclude)
-            .map(|(id, p)| (id, dist(q, p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-    }
 
     #[test]
     fn empty_tree_behaves() {
@@ -325,7 +454,7 @@ mod tests {
 
     #[test]
     fn range_count_matches_brute_force() {
-        for dim in [2usize, 3, 4] {
+        for dim in [2usize, 3, 4, 8] {
             let ds = random_dataset(300, dim, 42 + dim as u64);
             let tree = KdTree::build(&ds);
             let mut rng = StdRng::seed_from_u64(7);
@@ -348,6 +477,18 @@ mod tests {
                 brute_range_count(&ds, &q, 15.0, Some(id))
             );
         }
+    }
+
+    #[test]
+    fn whole_tree_inside_ball_uses_subtree_counts() {
+        // A radius covering the entire dataset exercises the fully-inside
+        // branch at (or near) the root, including the exclusion adjustment.
+        let ds = random_dataset(500, 2, 77);
+        let tree = KdTree::build(&ds);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, None), 500);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, Some(123)), 499);
+        let found = tree.range_search(&[50.0, 50.0], 1e6);
+        assert_eq!(found.len(), 500);
     }
 
     #[test]
@@ -392,41 +533,6 @@ mod tests {
     }
 
     #[test]
-    fn incremental_insert_matches_bulk_queries() {
-        let ds = random_dataset(300, 3, 123);
-        let bulk = KdTree::build(&ds);
-        let mut inc = KdTree::new_empty(&ds);
-        for id in 0..ds.len() {
-            inc.insert(id);
-        }
-        assert_eq!(inc.len(), bulk.len());
-        let mut rng = StdRng::seed_from_u64(55);
-        for _ in 0..40 {
-            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
-            let r = rng.gen_range(5.0..30.0);
-            assert_eq!(inc.range_count(&q, r, None), bulk.range_count(&q, r, None));
-            let a = inc.nearest_neighbor(&q, None).unwrap();
-            let b = bulk.nearest_neighbor(&q, None).unwrap();
-            assert!((a.1 - b.1).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn incremental_insert_partial_tree_sees_only_inserted_points() {
-        let ds = random_dataset(100, 2, 9);
-        let mut tree = KdTree::new_empty(&ds);
-        for id in 0..50 {
-            tree.insert(id);
-        }
-        let q = ds.point(75).to_vec();
-        let sub = ds.select(&(0..50).collect::<Vec<_>>());
-        let want = brute_nn(&sub, &q, None).unwrap();
-        let got = tree.nearest_neighbor(&q, None).unwrap();
-        assert!((got.1 - want.1).abs() < 1e-9);
-        assert!(got.0 < 50, "must only return inserted ids");
-    }
-
-    #[test]
     fn build_subset_only_indexes_subset() {
         let ds = random_dataset(120, 2, 31);
         let ids: Vec<usize> = (0..120).step_by(3).collect();
@@ -440,6 +546,26 @@ mod tests {
     }
 
     #[test]
+    fn build_subset_honours_exclusion() {
+        // Subset trees take the slow membership fallback on the fully-inside
+        // branch; exclusion must still be exact, and excluding a point that is
+        // not in the subset must be a no-op.
+        let ds = random_dataset(90, 2, 8);
+        let ids: Vec<usize> = (0..90).step_by(2).collect();
+        let tree = KdTree::build_subset(&ds, &ids);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, None), ids.len());
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, Some(0)), ids.len() - 1);
+        assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, Some(1)), ids.len());
+        let sub = ds.select(&ids);
+        for id in ids.iter().take(10) {
+            let q = ds.point(*id);
+            let want = sub.iter().filter(|(_, p)| dist(q, p) < 20.0).count();
+            assert_eq!(tree.range_count(q, 20.0, None), want);
+            assert_eq!(tree.range_count(q, 20.0, Some(*id)), want - 1);
+        }
+    }
+
+    #[test]
     fn duplicate_coordinates_are_all_counted() {
         let ds = Dataset::from_flat(2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 9.0]);
         let tree = KdTree::build(&ds);
@@ -448,9 +574,73 @@ mod tests {
     }
 
     #[test]
+    fn many_duplicates_split_cleanly() {
+        // More duplicates than a leaf bucket: the widest-axis split degenerates
+        // to zero extent but the median split must still terminate and count
+        // exactly.
+        let n = 5 * LEAF_BUCKET;
+        let ds = Dataset::from_flat(2, vec![3.0; 2 * n]);
+        let tree = KdTree::build(&ds);
+        assert_eq!(tree.len(), n);
+        assert_eq!(tree.range_count(&[3.0, 3.0], 0.1, None), n);
+        assert_eq!(tree.range_count(&[3.0, 3.0], 0.1, Some(7)), n - 1);
+        assert_eq!(tree.range_search(&[3.0, 3.0], 0.1).len(), n);
+        assert_eq!(tree.nearest_neighbor(&[0.0, 0.0], None).map(|(_, d)| d < 5.0), Some(true));
+    }
+
+    #[test]
+    fn collinear_points_are_handled() {
+        let n = 4 * LEAF_BUCKET + 3;
+        let coords: Vec<f64> = (0..n).flat_map(|i| [i as f64, 0.0]).collect();
+        let ds = Dataset::from_flat(2, coords);
+        let tree = KdTree::build(&ds);
+        for (q, r, want) in
+            [([10.0, 0.0], 2.5, 5usize), ([0.0, 0.0], 1.5, 2), ([n as f64, 0.0], 3.5, 3)]
+        {
+            assert_eq!(tree.range_count(&q, r, None), want);
+            assert_eq!(tree.range_search(&q, r).len(), want);
+        }
+        let (nn, d) = tree.nearest_neighbor(&[5.4, 1.0], None).unwrap();
+        assert_eq!(nn, 5);
+        assert!((d - dist(&[5.4, 1.0], &[5.0, 0.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_than_one_bucket() {
+        let ds = random_dataset(LEAF_BUCKET - 3, 3, 21);
+        let tree = KdTree::build(&ds);
+        assert_eq!(tree.len(), ds.len());
+        for id in 0..ds.len() {
+            let q = ds.point(id);
+            assert_eq!(
+                tree.range_count(q, 30.0, Some(id)),
+                brute_range_count(&ds, q, 30.0, Some(id))
+            );
+            let (_, d) = tree.nearest_neighbor(q, Some(id)).unwrap();
+            let (_, want) = brute_nn(&ds, q, Some(id)).unwrap();
+            assert!((d - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn range_search_into_reuses_buffer() {
+        let ds = random_dataset(300, 2, 4);
+        let tree = KdTree::build(&ds);
+        let mut buf = vec![999usize; 10]; // stale content must be cleared
+        tree.range_search_into(&[50.0, 50.0], 25.0, &mut buf);
+        let mut got = buf.clone();
+        got.sort_unstable();
+        let mut want: Vec<usize> =
+            ds.iter().filter(|(_, p)| dist(&[50.0, 50.0], p) < 25.0).map(|(id, _)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn mem_usage_scales_with_len() {
         let ds = random_dataset(128, 2, 2);
         let tree = KdTree::build(&ds);
         assert!(tree.mem_usage() >= 128 * std::mem::size_of::<u32>());
+        assert!(std::ptr::eq(tree.dataset(), &ds));
     }
 }

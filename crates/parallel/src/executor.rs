@@ -9,10 +9,24 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::partition::{lpt_partition, Partition};
 
-/// How many items a worker claims per fetch in dynamic scheduling. A small
-/// chunk keeps load balance; `1` matches OpenMP's `schedule(dynamic)` default
-/// and is what the paper uses.
-const DYNAMIC_CHUNK: usize = 1;
+/// Target number of chunks each worker claims (on average) under dynamic
+/// scheduling; see [`dynamic_chunk`].
+const DYNAMIC_CHUNKS_PER_WORKER: usize = 64;
+
+/// How many items a worker claims per fetch in dynamic scheduling.
+///
+/// The paper uses OpenMP's `schedule(dynamic)` (chunk 1) for its load
+/// balancing: dense-region points whose range queries are expensive do not
+/// serialise behind a static split. A chunk of 1, however, pays one atomic
+/// RMW on a contended cache line *per item*, which dominates when items are
+/// cheap. `max(1, n / (threads × 64))` keeps the same load-balancing regime —
+/// every worker still claims ~64 chunks, so the makespan overshoot is bounded
+/// by one chunk (≈ 1.6% of a worker's share) even under adversarial skew —
+/// while cutting the atomic traffic from `n` to `threads × 64` operations.
+/// Small inputs degenerate to chunk 1, i.e. exactly the paper's behaviour.
+fn dynamic_chunk(n: usize, workers: usize) -> usize {
+    (n / (workers * DYNAMIC_CHUNKS_PER_WORKER)).max(1)
+}
 
 /// A parallel executor with a fixed number of worker threads.
 #[derive(Clone, Copy, Debug)]
@@ -61,14 +75,15 @@ impl Executor {
         }
         let counter = AtomicUsize::new(0);
         let workers = self.threads.min(n);
+        let chunk = dynamic_chunk(n, workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let start = counter.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
-                    let end = (start + DYNAMIC_CHUNK).min(n);
+                    let end = (start + chunk).min(n);
                     for i in start..end {
                         f(i);
                     }
@@ -92,6 +107,7 @@ impl Executor {
         }
         let counter = AtomicUsize::new(0);
         let workers = self.threads.min(n);
+        let chunk = dynamic_chunk(n, workers);
         let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -99,11 +115,11 @@ impl Executor {
                     scope.spawn(|| {
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
-                            let start = counter.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                            let start = counter.fetch_add(chunk, Ordering::Relaxed);
                             if start >= n {
                                 break;
                             }
-                            let end = (start + DYNAMIC_CHUNK).min(n);
+                            let end = (start + chunk).min(n);
                             for i in start..end {
                                 local.push((i, f(i)));
                             }
@@ -206,6 +222,19 @@ fn scatter<R>(n: usize, partials: Vec<Vec<(usize, R)>>) -> Vec<R> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dynamic_chunk_is_adaptive_but_never_zero() {
+        assert_eq!(dynamic_chunk(1, 1), 1);
+        assert_eq!(dynamic_chunk(100, 4), 1); // small n degenerates to the paper's chunk 1
+        assert_eq!(dynamic_chunk(1_000_000, 4), 1_000_000 / (4 * 64));
+        // Every worker still sees ~DYNAMIC_CHUNKS_PER_WORKER claims.
+        let n = 10_000_000;
+        let workers = 8;
+        let chunk = dynamic_chunk(n, workers);
+        let claims = n.div_ceil(chunk);
+        assert!(claims >= workers * (DYNAMIC_CHUNKS_PER_WORKER - 1));
+    }
 
     #[test]
     fn threads_are_clamped() {

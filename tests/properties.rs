@@ -9,9 +9,11 @@
 //! reproducible), no external dependency.
 
 use fast_dpc::baselines::Scan;
+use fast_dpc::core::framework::{descending_density_order, jittered_density};
+use fast_dpc::core::{DpcModel, Timings};
 use fast_dpc::eval::{adjusted_rand_index, rand_index};
 use fast_dpc::geometry::{dist, Dataset};
-use fast_dpc::index::{Grid, KdTree};
+use fast_dpc::index::{Grid, IncrementalKdTree, KdTree};
 use fast_dpc::parallel::lpt_partition;
 use fast_dpc::prelude::*;
 use fast_dpc::rng::StdRng;
@@ -26,6 +28,147 @@ fn random_dataset(rng: &mut StdRng, max_points: usize) -> Dataset {
         ds.push(&[rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
     }
     ds
+}
+
+/// A random dataset of the given dimensionality; when `snap` is true the
+/// coordinates are snapped to a coarse lattice so exact duplicates occur.
+fn random_dataset_nd(rng: &mut StdRng, n: usize, dim: usize, snap: bool) -> Dataset {
+    let mut ds = Dataset::new(dim);
+    let mut row = vec![0.0f64; dim];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            let c = rng.gen_range(0.0..100.0);
+            *v = if snap { (c / 10.0).floor() * 10.0 } else { c };
+        }
+        ds.push(&row);
+    }
+    ds
+}
+
+/// Checks every packed-tree query primitive against a naive O(n²) scan.
+fn assert_packed_matches_naive(ds: &Dataset, rng: &mut StdRng, seed: u64) {
+    let dim = ds.dim();
+    let tree = KdTree::build(ds);
+    assert_eq!(tree.len(), ds.len(), "seed {seed}");
+    for case in 0..6 {
+        let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let r = rng.gen_range(0.1..80.0);
+        let exclude = if case % 2 == 0 { None } else { Some(rng.gen_range(0..ds.len())) };
+        let want_count =
+            ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(&q, p) < r).count();
+        assert_eq!(tree.range_count(&q, r, exclude), want_count, "seed {seed} case {case}");
+
+        let mut got = tree.range_search(&q, r);
+        got.sort_unstable();
+        let mut want: Vec<usize> =
+            ds.iter().filter(|(_, p)| dist(&q, p) < r).map(|(id, _)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "seed {seed} case {case}");
+
+        let got_nn = tree.nearest_neighbor(&q, exclude).map(|(_, d)| d);
+        let want_nn = ds
+            .iter()
+            .filter(|(id, _)| Some(*id) != exclude)
+            .map(|(_, p)| dist(&q, p))
+            .min_by(|a, b| a.partial_cmp(b).unwrap());
+        match (got_nn, want_nn) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "seed {seed} case {case}"),
+            (None, None) => {}
+            other => panic!("seed {seed} case {case}: nn mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn packed_kdtree_matches_naive_across_dimensionalities() {
+    for &dim in &[2usize, 3, 8] {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(0x9A00 + seed * 31 + dim as u64);
+            let n = rng.gen_range(2..250);
+            let ds = random_dataset_nd(&mut rng, n, dim, false);
+            assert_packed_matches_naive(&ds, &mut rng, seed);
+        }
+    }
+}
+
+#[test]
+fn packed_kdtree_handles_degenerate_inputs() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9B00 + seed);
+        // Duplicate-heavy: lattice-snapped coordinates in 2-d and 3-d.
+        for dim in [2usize, 3] {
+            let ds = random_dataset_nd(&mut rng, 150, dim, true);
+            assert_packed_matches_naive(&ds, &mut rng, seed);
+        }
+        // All-collinear points (x varies, other axes constant), with repeats.
+        let n = rng.gen_range(2..120);
+        let mut ds = Dataset::new(2);
+        for _ in 0..n {
+            ds.push(&[rng.gen_range(0..40) as f64, 5.0]);
+        }
+        assert_packed_matches_naive(&ds, &mut rng, seed);
+        // Fewer points than one leaf bucket.
+        let tiny_n = rng.gen_range(1..fast_dpc::index::kdtree::LEAF_BUCKET);
+        let tiny = random_dataset_nd(&mut rng, tiny_n, 2, false);
+        assert_packed_matches_naive(&tiny, &mut rng, seed);
+    }
+}
+
+/// Replicates the seed pipeline — arena kd-tree range counts for ρ, then the
+/// incremental-insertion nearest-neighbour pass for δ — and proves the packed
+/// fit produces a bit-identical model and clustering.
+#[test]
+fn packed_fit_is_bit_identical_to_seed_tree_fit() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0x9C00 + seed);
+        let ds = random_dataset(&mut rng, 400);
+        let dcut = rng.gen_range(2.0..30.0);
+        let params = DpcParams::new(dcut);
+
+        // Seed ρ: one arena-tree range count per point.
+        let arena = IncrementalKdTree::build(&ds);
+        let rho: Vec<f64> = (0..ds.len())
+            .map(|i| {
+                let count = arena.range_count(ds.point(i), dcut, Some(i));
+                jittered_density(count, i, params.jitter_seed)
+            })
+            .collect();
+        // Seed δ: destroy the tree, re-insert in descending density order.
+        let order = descending_density_order(&rho);
+        let mut dependent: Vec<usize> = (0..ds.len()).collect();
+        let mut delta = vec![f64::INFINITY; ds.len()];
+        let mut inc = IncrementalKdTree::new(&ds);
+        inc.insert(order[0]);
+        for &i in order.iter().skip(1) {
+            let (nn, d) = inc.nearest_neighbor(ds.point(i), None).unwrap();
+            dependent[i] = nn;
+            delta[i] = d;
+            inc.insert(i);
+        }
+        let seed_model = DpcModel::from_parts(
+            "seed",
+            dcut,
+            rho,
+            delta,
+            dependent,
+            Timings::default(),
+            arena.mem_usage(),
+        )
+        .unwrap();
+
+        let model = ExDpc::new(params).fit(&ds).unwrap();
+        assert_eq!(model.rho(), seed_model.rho(), "seed {seed}: ρ not bit-identical");
+        assert_eq!(model.delta(), seed_model.delta(), "seed {seed}: δ not bit-identical");
+        assert_eq!(model.dependent(), seed_model.dependent(), "seed {seed}");
+
+        let thresholds = Thresholds::new(1.0, 1.5 * dcut).unwrap();
+        let a = model.extract(&thresholds);
+        let b = seed_model.extract(&thresholds);
+        assert_eq!(a.assignment, b.assignment, "seed {seed}: clustering differs");
+        assert_eq!(a.centers, b.centers, "seed {seed}");
+        assert_eq!(a.rho, b.rho, "seed {seed}");
+        assert_eq!(a.delta, b.delta, "seed {seed}");
+    }
 }
 
 #[test]
@@ -53,7 +196,7 @@ fn incremental_kdtree_equals_bulk_kdtree() {
         let mut rng = StdRng::seed_from_u64(0xB220 + seed);
         let ds = random_dataset(&mut rng, 100);
         let bulk = KdTree::build(&ds);
-        let mut inc = KdTree::new_empty(&ds);
+        let mut inc = IncrementalKdTree::new(&ds);
         for id in 0..ds.len() {
             inc.insert(id);
         }
