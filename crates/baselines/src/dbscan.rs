@@ -9,6 +9,7 @@
 
 use dpc_geometry::Dataset;
 use dpc_index::KdTree;
+use dpc_parallel::Executor;
 
 /// Label assigned to noise points.
 pub const DBSCAN_NOISE: i64 = -1;
@@ -20,17 +21,29 @@ pub struct Dbscan {
     pub eps: f64,
     /// Minimum number of neighbours (including the point itself) for a core point.
     pub min_pts: usize,
+    /// Worker threads for the kd-tree build (the expansion loop itself is
+    /// sequential). The labelling is identical at every thread count because
+    /// the parallel build is bit-identical to the serial one.
+    pub threads: usize,
 }
 
 impl Dbscan {
-    /// Creates a DBSCAN instance.
+    /// Creates a single-threaded DBSCAN instance (see [`Dbscan::with_threads`]).
     ///
     /// # Panics
     /// Panics unless `eps` is positive and finite and `min_pts ≥ 1`.
     pub fn new(eps: f64, min_pts: usize) -> Self {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive and finite");
         assert!(min_pts >= 1, "minPts must be at least 1");
-        Self { eps, min_pts }
+        Self { eps, min_pts, threads: 1 }
+    }
+
+    /// Sets the number of worker threads used to build the kd-tree (clamped
+    /// to ≥ 1 by the executor). Explicit, like `DpcParams::with_threads` —
+    /// the library never spawns threads the caller did not ask for.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Runs DBSCAN and returns one label per point: cluster ids `0..k` or
@@ -41,7 +54,7 @@ impl Dbscan {
         if n == 0 {
             return Vec::new();
         }
-        let tree = KdTree::build(data);
+        let tree = KdTree::build_parallel(data, &Executor::new(self.threads));
         let mut cluster = 0i64;
         let mut stack: Vec<usize> = Vec::new();
         // One neighbourhood query per point: reuse a single result buffer so
@@ -137,6 +150,17 @@ mod tests {
     #[test]
     fn empty_dataset() {
         assert!(Dbscan::new(1.0, 3).run(&Dataset::new(2)).is_empty());
+    }
+
+    #[test]
+    fn labelling_is_identical_at_every_thread_count() {
+        // Only the kd-tree build is parallel, and it is bit-identical to the
+        // serial build, so the labels must not depend on the thread count.
+        let data = gaussian_blobs(&[(0.0, 0.0), (40.0, 40.0)], 900, 3.0, 17);
+        let single = Dbscan::new(4.0, 4).run(&data);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(Dbscan::new(4.0, 4).with_threads(threads).run(&data), single);
+        }
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Microbenchmarks for the kd-tree substrate: the packed leaf-bucketed tree
 //! (`KdTree`) head-to-head against the seed's one-point-per-node arena tree
-//! (`IncrementalKdTree`) on bulk build, range counting, range search and
-//! nearest-neighbour search, plus the incremental-insert path Ex-DPC uses.
+//! (`IncrementalKdTree`) on bulk build (serial and fork-join parallel), range
+//! counting, range search and nearest-neighbour search, plus the
+//! incremental-insert path Ex-DPC uses.
 //!
 //! Results are written to `BENCH_kdtree.json` (schema in `crates/bench/README.md`)
 //! so the perf trajectory of the local-density hot path is recorded PR over PR.
 //!
-//! Flags: `--n <points>` (default 100,000) `--out <json>` (default
-//! `BENCH_kdtree.json`). The dataset is clustered 2-d (Gaussian blobs) — the
-//! shape the paper's workloads have and the one where subtree-count pruning
-//! matters — plus a uniform 3-d set covering the generic kernel path.
+//! Flags: `--n <points>` (default 100,000), `--build-n <points>` (default
+//! 1,000,000; the cardinality of the build-scaling kernels), `--threads <T>`
+//! (default: available hardware parallelism; the parallel-build kernels),
+//! `--out <json>` (default `BENCH_kdtree.json`), `--check` (validate the
+//! emitted JSON against the schema and exit non-zero on drift). The dataset is
+//! clustered 2-d (Gaussian blobs) — the shape the paper's workloads have and
+//! the one where subtree-count pruning matters — plus a uniform 3-d set
+//! covering the generic kernel path.
 
 use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_bench::schema::{check_or_exit, required};
 use dpc_data::generators::{gaussian_blobs, uniform};
 use dpc_geometry::Dataset;
 use dpc_index::{IncrementalKdTree, KdTree};
+use dpc_parallel::Executor;
 use std::hint::black_box;
 
 /// Queries per timed kernel; each bench iteration issues one query.
@@ -28,12 +35,21 @@ fn clustered_2d(n: usize) -> Dataset {
 }
 
 /// Benchmarks one tree pairing on one dataset, returning the records.
-fn run_suite(records: &mut Vec<BenchRecord>, data: &Dataset, radius: f64, label: &str) {
+fn run_suite(
+    records: &mut Vec<BenchRecord>,
+    data: &Dataset,
+    radius: f64,
+    label: &str,
+    executor: &Executor,
+) {
     let n = data.len();
     let d = data.dim();
 
     records.push(bench_record(&format!("packed_build_{label}"), n, d, 5, || {
         KdTree::build(data).len()
+    }));
+    records.push(bench_record(&format!("packed_build_parallel_{label}"), n, d, 5, || {
+        KdTree::build_parallel(data, executor).len()
     }));
     records.push(bench_record(&format!("arena_build_{label}"), n, d, 5, || {
         IncrementalKdTree::build(data).len()
@@ -81,24 +97,45 @@ fn run_suite(records: &mut Vec<BenchRecord>, data: &Dataset, radius: f64, label:
 
 fn main() {
     let mut n = 100_000usize;
+    let mut build_n = 1_000_000usize;
+    let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
     let mut out = std::path::PathBuf::from("BENCH_kdtree.json");
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--n" => n = args.next().expect("--n requires a value").parse().expect("--n <points>"),
+            "--build-n" => {
+                build_n = args
+                    .next()
+                    .expect("--build-n requires a value")
+                    .parse()
+                    .expect("--build-n <points>")
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads requires a value")
+                    .parse()
+                    .expect("--threads <T>")
+            }
             "--out" => out = args.next().expect("--out requires a path").into(),
+            "--check" => check = true,
             "--bench" => {} // appended by `cargo bench`
-            other => panic!("unknown argument: {other} (flags: --n <points> --out <json>)"),
+            other => panic!(
+                "unknown argument: {other} (flags: --n <points> --build-n <points> --threads <T> --out <json> --check)"
+            ),
         }
     }
+    let executor = Executor::new(threads);
 
     let mut records: Vec<BenchRecord> = Vec::new();
 
     // Primary workload: clustered 2-d, the acceptance surface for the packed
     // tree (one range count per point is the Ex-DPC density phase).
     let data2 = clustered_2d(n);
-    println!("kd_tree clustered 2d (n = {})", data2.len());
-    run_suite(&mut records, &data2, 10.0, "2d");
+    println!("kd_tree clustered 2d (n = {}, threads = {threads})", data2.len());
+    run_suite(&mut records, &data2, 10.0, "2d", &executor);
 
     let mut inserted = 0usize;
     records.push(bench_record("arena_incremental_insert_2d", data2.len(), 2, 5, || {
@@ -115,20 +152,40 @@ fn main() {
     let n3 = (n / 4).max(1_000);
     let data3 = uniform(n3, 3, 1_000.0, 7);
     println!("kd_tree uniform 3d (n = {n3})");
-    run_suite(&mut records, &data3, 60.0, "3d");
+    run_suite(&mut records, &data3, 60.0, "3d", &executor);
 
-    // Headline number: the ρ-phase primitive, packed vs the seed arena layout.
-    let speedup = |kernel: &str| {
-        let find = |name: &str| {
-            records.iter().find(|r| r.kernel == name).map(|r| r.mean_secs).unwrap_or(f64::NAN)
-        };
-        find(&format!("arena_{kernel}")) / find(&format!("packed_{kernel}"))
+    // Build scaling: the parallel fork-join build against the serial build at
+    // a cardinality where construction is the dominant fixed cost of the
+    // index-based algorithms (default n = 1M, --build-n to override).
+    let xl = clustered_2d(build_n);
+    println!("kd_tree build scaling (n = {}, threads = {threads})", xl.len());
+    records
+        .push(bench_record("packed_build_serial_xl", xl.len(), 2, 3, || KdTree::build(&xl).len()));
+    records.push(bench_record("packed_build_parallel_xl", xl.len(), 2, 3, || {
+        KdTree::build_parallel(&xl, &executor).len()
+    }));
+
+    // Headline numbers: query kernels packed vs the seed arena layout, and the
+    // fork-join build vs the serial build.
+    let mean_of = |name: &str| {
+        records.iter().find(|r| r.kernel == name).map(|r| r.mean_secs).unwrap_or(f64::NAN)
     };
+    let speedup =
+        |kernel: &str| mean_of(&format!("arena_{kernel}")) / mean_of(&format!("packed_{kernel}"));
     println!();
     println!("range_count speedup (2d, mean): {:.2}x", speedup("range_count_2d"));
     println!("range_search speedup (2d, mean): {:.2}x", speedup("range_search_2d"));
     println!("nearest_neighbor speedup (2d, mean): {:.2}x", speedup("nearest_neighbor_2d"));
+    println!(
+        "parallel build speedup (n = {}, {} threads, mean): {:.2}x",
+        xl.len(),
+        threads,
+        mean_of("packed_build_serial_xl") / mean_of("packed_build_parallel_xl")
+    );
 
     write_bench_json(&out, "kd_tree", &records).expect("write BENCH json");
     println!("wrote {}", out.display());
+    if check {
+        check_or_exit(&out, "kd_tree", required::KD_TREE);
+    }
 }

@@ -1,42 +1,116 @@
 //! Benchmark of the local-density (ρ) kernels across algorithms: the full
 //! linear scan, the R-tree, the seed's arena kd-tree, and the packed
-//! leaf-bucketed kd-tree that Ex-DPC now uses.
+//! leaf-bucketed kd-tree that Ex-DPC now uses — plus the index construction
+//! itself (serial and fork-join parallel), which is the fixed cost every
+//! index-based variant pays before any ρ work.
+//!
+//! Results are written to `BENCH_local_density.json` (schema in
+//! `crates/bench/README.md`) so the ρ-phase trajectory is recorded PR over PR.
+//!
+//! Flags: `--n <points>` (default 100,000), `--threads <T>` (default:
+//! available hardware parallelism; used by the parallel-build kernel — the ρ
+//! kernels themselves run single-threaded so the trajectory measures the
+//! kernels, not the scheduler), `--out <json>` (default
+//! `BENCH_local_density.json`), `--check` (validate the emitted JSON and exit
+//! non-zero on schema drift).
 
 use dpc_baselines::{RtreeScan, Scan};
-use dpc_bench::micro::bench;
+use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_bench::schema::{check_or_exit, required};
 use dpc_bench::{default_params, BenchDataset};
 use dpc_core::framework::jittered_density;
 use dpc_core::ExDpc;
 use dpc_index::{IncrementalKdTree, KdTree, RTree};
+use dpc_parallel::Executor;
 
-const N: usize = 8_000;
+/// The quadratic scan baseline is only timed up to this cardinality; above it
+/// one iteration would dominate the whole bench run.
+const SCAN_MAX_N: usize = 20_000;
 
 fn main() {
-    let dataset = BenchDataset::Syn;
-    let data = dataset.generate(N);
-    let params = default_params(&dataset, 1);
-    println!("local_density ({} n = {N})", dataset.name());
+    let mut n = 100_000usize;
+    let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut out = std::path::PathBuf::from("BENCH_local_density.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => n = args.next().expect("--n requires a value").parse().expect("--n <points>"),
+            "--threads" => {
+                threads =
+                    args.next().expect("--threads requires a value").parse().expect("--threads <T>")
+            }
+            "--out" => out = args.next().expect("--out requires a path").into(),
+            "--check" => check = true,
+            "--bench" => {} // appended by `cargo bench`
+            other => panic!(
+                "unknown argument: {other} (flags: --n <points> --threads <T> --out <json> --check)"
+            ),
+        }
+    }
 
-    let scan = Scan::new(params);
-    bench("scan", 5, || scan.local_densities(&data));
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(n);
+    let d = data.dim();
+    let params = default_params(&dataset, 1);
+    let executor = Executor::new(threads);
+    println!("local_density ({} n = {n}, threads = {threads})", dataset.name());
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // Index construction: the fixed cost before any ρ work.
+    records.push(bench_record("build", n, d, 5, || KdTree::build(&data).len()));
+    records.push(bench_record("build_parallel", n, d, 5, || {
+        KdTree::build_parallel(&data, &executor).len()
+    }));
+    records.push(bench_record("build_arena", n, d, 5, || IncrementalKdTree::build(&data).len()));
+
+    if n <= SCAN_MAX_N {
+        let scan = Scan::new(params);
+        records.push(bench_record("scan", n, d, 5, || scan.local_densities(&data)));
+    } else {
+        println!("scan{:>38} O(n²) baseline skipped at n = {n} (> {SCAN_MAX_N})", "");
+    }
 
     let rtree_scan = RtreeScan::new(params);
     let rtree = RTree::build(&data);
-    bench("rtree", 5, || rtree_scan.local_densities(&data, &rtree));
+    records.push(bench_record("rtree", n, d, 5, || rtree_scan.local_densities(&data, &rtree)));
 
     // Seed reference: the one-point-per-node arena tree (single-threaded loop,
     // same as the packed kernel below at threads = 1).
     let arena = IncrementalKdTree::build(&data);
-    bench("exdpc_arena_kdtree", 5, || {
+    records.push(bench_record("exdpc_arena_kdtree", n, d, 5, || {
         (0..data.len())
             .map(|i| {
                 let count = arena.range_count(data.point(i), params.dcut, Some(i));
                 jittered_density(count, i, params.jitter_seed)
             })
             .collect::<Vec<f64>>()
-    });
+    }));
 
     let exdpc = ExDpc::new(params);
     let kdtree = KdTree::build(&data);
-    bench("exdpc_packed_kdtree", 5, || exdpc.local_densities(&data, &kdtree));
+    records.push(bench_record("exdpc_packed_kdtree", n, d, 5, || {
+        exdpc.local_densities(&data, &kdtree)
+    }));
+
+    let mean_of = |name: &str| {
+        records.iter().find(|r| r.kernel == name).map(|r| r.mean_secs).unwrap_or(f64::NAN)
+    };
+    println!();
+    println!(
+        "ρ-phase speedup vs arena (mean): {:.2}x",
+        mean_of("exdpc_arena_kdtree") / mean_of("exdpc_packed_kdtree")
+    );
+    println!(
+        "parallel build speedup ({} threads, mean): {:.2}x",
+        threads,
+        mean_of("build") / mean_of("build_parallel")
+    );
+
+    write_bench_json(&out, "local_density", &records).expect("write BENCH json");
+    println!("wrote {}", out.display());
+    if check {
+        check_or_exit(&out, "local_density", required::LOCAL_DENSITY);
+    }
 }

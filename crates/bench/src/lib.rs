@@ -16,6 +16,7 @@ pub mod cli;
 pub mod datasets;
 pub mod micro;
 pub mod runner;
+pub mod schema;
 
 pub use cli::HarnessArgs;
 pub use datasets::{bench_dataset, default_params, default_thresholds, BenchDataset};

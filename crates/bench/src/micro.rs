@@ -2,7 +2,7 @@
 //!
 //! The container this workspace builds in has no third-party bench framework,
 //! so each file under `benches/` is a plain `harness = false` binary that
-//! calls [`bench`] per kernel: warm up once, run a fixed number of iterations,
+//! calls [`bench`](fn@bench) per kernel: warm up once, run a fixed number of iterations,
 //! print min / mean wall-clock. Good enough to read relative orderings (who is
 //! faster than whom), which is all the paper-shape assertions need.
 //!
@@ -61,7 +61,7 @@ pub struct BenchRecord {
     pub mean_secs: f64,
 }
 
-/// Like [`bench`], but also returns the structured record for JSON emission.
+/// Like [`bench`](fn@bench), but also returns the structured record for JSON emission.
 pub fn bench_record<R, F: FnMut() -> R>(
     kernel: &str,
     n: usize,

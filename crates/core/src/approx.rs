@@ -81,7 +81,7 @@ impl ApproxDpc {
     ) -> (Vec<f64>, Grid, Vec<CellMeta>, usize) {
         let dcut = self.params.dcut;
         let seed = self.params.jitter_seed;
-        let tree = KdTree::build(data);
+        let tree = KdTree::build_parallel(data, executor);
         let side = dcut / (data.dim() as f64).sqrt();
         let grid = Grid::build(data, side);
         let cells: Vec<usize> = grid.cell_ids().collect();

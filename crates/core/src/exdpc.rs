@@ -99,7 +99,7 @@ impl DpcAlgorithm for ExDpc {
         let mut timings = Timings::default();
 
         let start = Instant::now();
-        let tree = KdTree::build(data);
+        let tree = KdTree::build_parallel(data, &Executor::new(self.params.threads));
         let rho = self.local_densities(data, &tree);
         timings.rho_secs = start.elapsed().as_secs_f64();
         let index_bytes = tree.mem_usage();

@@ -14,7 +14,7 @@
 //!   per extraction, so a fitted model can be re-thresholded for free.
 //!
 //! Neither constructor panics. `Thresholds::new` returns a
-//! [`DpcError`](crate::DpcError) for out-of-domain values, and `DpcParams` is
+//! [`DpcError`] for out-of-domain values, and `DpcParams` is
 //! validated by `fit` (via [`DpcParams::validate`]) — the former seed API
 //! validated `δ_min > d_cut` inside `with_delta_min`, which silently depended
 //! on the builder-call order; decoupling the two types removes that footgun

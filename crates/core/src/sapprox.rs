@@ -103,7 +103,7 @@ impl DpcAlgorithm for SApproxDpc {
 
         // ---- Local density phase (Corollary 1) ----
         let start = Instant::now();
-        let tree = KdTree::build(data);
+        let tree = KdTree::build_parallel(data, &executor);
         let side = self.epsilon * dcut / (data.dim() as f64).sqrt();
         let grid = Grid::build(data, side);
         let cells: Vec<usize> = grid.cell_ids().collect();

@@ -77,7 +77,7 @@ pub fn gaussian_blobs_nd(
 }
 
 /// The random-walk model behind the paper's `Syn` dataset (§6, "generated based
-/// on a random walk model introduced in [17]").
+/// on a random walk model introduced in \[17\]").
 ///
 /// `clusters` walkers start at uniformly random positions in `[0, domain]^2`;
 /// each walker takes `n / clusters` steps, every step moving by a uniform offset

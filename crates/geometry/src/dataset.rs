@@ -38,7 +38,7 @@ impl Dataset {
     pub fn from_flat(dim: usize, coords: Vec<f64>) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert!(
-            coords.len().is_multiple_of(dim),
+            coords.len() % dim == 0,
             "coordinate buffer length {} is not a multiple of dim {}",
             coords.len(),
             dim

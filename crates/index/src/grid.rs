@@ -5,13 +5,29 @@
 //! is built online: a cell exists only if at least one point falls inside it, so
 //! the number of cells is at most `n` and the space stays `O(n)`.
 //!
+//! The storage is CSR (compressed sparse row), mirroring what the packed
+//! kd-tree did for leaf buckets:
+//!
+//! * **Packed membership.** One `offsets` array plus one packed `point id`
+//!   array hold every cell's membership: cell `c` covers
+//!   `packed[offsets[c]..offsets[c + 1]]`, ascending point id. Cell iteration
+//!   reads one contiguous strip — no per-cell `Vec`, no per-cell heap
+//!   allocation after the build.
+//! * **Interned keys.** Integer cell keys live in one flat `i64` buffer (`dim`
+//!   values per cell, cell-id order) instead of one boxed slice per cell.
+//! * **Open-addressing key table.** Key → cell-id probes go through a small
+//!   linear-probing table whose slots store only cell ids; comparisons read
+//!   the interned key buffer. Probe keys are computed into caller-reusable
+//!   scratch, so lookups allocate nothing.
+//! * **Counting-sort build.** One pass assigns cell ids (in first-appearance
+//!   order) and counts members, a prefix sum turns counts into `offsets`, and
+//!   a stable scatter pass fills `packed`.
+//!
 //! The grid stores the point membership of every cell and the reverse mapping
 //! from point id to cell id. Algorithm-specific per-cell metadata (the maximum
 //! density point `p*(c)`, `min ρ`, the neighbour set `N(c)`) lives with the
 //! algorithms in `dpc-core`, because it depends on local densities that are only
 //! known mid-run.
-
-use std::collections::HashMap;
 
 use dpc_geometry::Dataset;
 
@@ -21,11 +37,8 @@ pub type CellId = usize;
 /// Integer cell coordinates (per-dimension floor of `(x - origin) / side`).
 pub type CellKey = Box<[i64]>;
 
-#[derive(Debug)]
-struct Cell {
-    key: CellKey,
-    points: Vec<usize>,
-}
+/// Empty slot marker of the open-addressing key table.
+const EMPTY: u32 = u32::MAX;
 
 /// A uniform grid over the points of a dataset.
 #[derive(Debug)]
@@ -33,10 +46,33 @@ pub struct Grid {
     dim: usize,
     side: f64,
     origin: Vec<f64>,
-    cells: Vec<Cell>,
-    by_key: HashMap<CellKey, CellId>,
+    /// Interned cell keys: `dim` values per cell, in cell-id order.
+    keys: Vec<i64>,
+    /// CSR offsets: cell `c` covers `packed[offsets[c]..offsets[c + 1]]`.
+    /// `num_cells() + 1` entries once built — `[0]` for an empty dataset;
+    /// only the transient value inside `build`'s first pass is empty.
+    offsets: Vec<usize>,
+    /// Point identifiers grouped by cell, ascending within each cell.
+    packed: Vec<usize>,
+    /// Linear-probing key table: each slot holds a cell id or [`EMPTY`].
+    /// Power-of-two length, load factor ≤ 3/4.
+    table: Vec<u32>,
     /// `point_cell[p]` is the cell containing point `p`.
     point_cell: Vec<CellId>,
+}
+
+/// Deterministic hash of an integer cell key (a splitmix64 finalizer per
+/// lane): adjacent lattice keys differ only in low bits, so every lane is
+/// fully mixed before it is folded into the accumulator.
+fn hash_key(key: &[i64]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for &v in key {
+        let mut x = (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = (h ^ (x ^ (x >> 31))).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    h
 }
 
 impl Grid {
@@ -51,33 +87,54 @@ impl Grid {
             Some(rect) => rect.lo().to_vec(),
             None => vec![0.0; dim],
         };
+        let n = data.len();
         let mut grid = Self {
             dim,
             side,
             origin,
-            cells: Vec::new(),
-            by_key: HashMap::new(),
-            point_cell: Vec::with_capacity(data.len()),
+            keys: Vec::new(),
+            offsets: Vec::new(),
+            packed: Vec::new(),
+            table: Vec::new(),
+            point_cell: Vec::with_capacity(n),
         };
-        // The lookup key is computed into one reused scratch buffer; a boxed
-        // key is only allocated when the probe discovers a brand-new cell, so
-        // the point→cell pass allocates O(#cells) keys rather than O(n).
+        // Pass 1: assign cell ids in first-appearance order, counting members.
+        // The probe key is computed into one reused scratch buffer and only
+        // interned (appended to the flat key buffer) when it names a brand-new
+        // cell, so this pass allocates O(#cells) key storage rather than O(n).
+        let mut counts: Vec<usize> = Vec::new();
         let mut scratch: Vec<i64> = Vec::with_capacity(dim);
-        for (id, coords) in data.iter() {
+        for (_, coords) in data.iter() {
             grid.fill_key(coords, &mut scratch);
-            let cell_id = match grid.by_key.get(scratch.as_slice()) {
-                Some(&cid) => cid,
+            let cell_id = match grid.probe(&scratch) {
+                Some(cid) => cid,
                 None => {
-                    let cid = grid.cells.len();
-                    let key: CellKey = scratch.clone().into_boxed_slice();
-                    grid.cells.push(Cell { key: key.clone(), points: Vec::new() });
-                    grid.by_key.insert(key, cid);
+                    let cid = counts.len();
+                    grid.intern(&scratch, cid);
+                    counts.push(0);
                     cid
                 }
             };
-            grid.cells[cell_id].points.push(id);
+            counts[cell_id] += 1;
             grid.point_cell.push(cell_id);
         }
+        // Pass 2: prefix-sum the counts into CSR offsets, then scatter the
+        // point ids stably (ascending id within each cell).
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..counts.len()].to_vec();
+        let mut packed = vec![0usize; n];
+        for (p, &c) in grid.point_cell.iter().enumerate() {
+            packed[cursor[c]] = p;
+            cursor[c] += 1;
+        }
+        grid.offsets = offsets;
+        grid.packed = packed;
         grid
     }
 
@@ -91,6 +148,58 @@ impl Grid {
                 .zip(self.origin.iter())
                 .map(|(&c, &o)| ((c - o) / self.side).floor() as i64),
         );
+    }
+
+    /// The interned key of cell `cid` (valid for any already-interned id).
+    #[inline]
+    fn interned_key(&self, cid: usize) -> &[i64] {
+        &self.keys[cid * self.dim..(cid + 1) * self.dim]
+    }
+
+    /// Looks `key` up in the open-addressing table. Allocation-free.
+    fn probe(&self, key: &[i64]) -> Option<CellId> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = hash_key(key) as usize & mask;
+        loop {
+            let slot = self.table[i];
+            if slot == EMPTY {
+                return None;
+            }
+            let cid = slot as usize;
+            if self.interned_key(cid) == key {
+                return Some(cid);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Appends `key` to the flat key buffer as cell `cid` and inserts it into
+    /// the table, growing (and rehashing from the interned keys) when the load
+    /// factor would exceed 3/4.
+    fn intern(&mut self, key: &[i64], cid: usize) {
+        self.keys.extend_from_slice(key);
+        if (cid + 1) * 4 > self.table.len() * 3 {
+            let capacity = (self.table.len() * 2).max(16);
+            let mask = capacity - 1;
+            let mut table = vec![EMPTY; capacity];
+            for existing in 0..cid {
+                let mut i = hash_key(self.interned_key(existing)) as usize & mask;
+                while table[i] != EMPTY {
+                    i = (i + 1) & mask;
+                }
+                table[i] = existing as u32;
+            }
+            self.table = table;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = hash_key(key) as usize & mask;
+        while self.table[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.table[i] = cid as u32;
     }
 
     /// The integer cell key of an arbitrary coordinate (allocating convenience
@@ -110,12 +219,12 @@ impl Grid {
 
     /// Same as [`Grid::cell_at`] but computes the probe key into a
     /// caller-reusable buffer, so repeated probes (point→cell lookups,
-    /// neighbour enumeration) are allocation-free. The `HashMap` is keyed by
-    /// `Box<[i64]>`, whose `Borrow<[i64]>` impl lets the probe hash and compare
-    /// a plain slice without boxing it.
+    /// neighbour enumeration) are allocation-free: the probe hashes the
+    /// scratch slice and compares it against the interned flat key buffer
+    /// without boxing anything.
     pub fn cell_at_scratch(&self, coords: &[f64], scratch: &mut Vec<i64>) -> Option<CellId> {
         self.fill_key(coords, scratch);
-        self.by_key.get(scratch.as_slice()).copied()
+        self.probe(scratch)
     }
 
     /// The cell containing dataset point `point_id`.
@@ -128,12 +237,15 @@ impl Grid {
 
     /// Looks up a cell id by its integer key.
     pub fn cell_by_key(&self, key: &[i64]) -> Option<CellId> {
-        self.by_key.get(key).copied()
+        if key.len() != self.dim {
+            return None;
+        }
+        self.probe(key)
     }
 
     /// Number of non-empty cells.
     pub fn num_cells(&self) -> usize {
-        self.cells.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Dimensionality of the grid.
@@ -146,21 +258,22 @@ impl Grid {
         self.side
     }
 
-    /// Identifiers of the points covered by cell `cell` (`P(c)` in the paper).
+    /// Identifiers of the points covered by cell `cell` (`P(c)` in the paper),
+    /// ascending. A contiguous slice of the packed CSR array.
     pub fn points(&self, cell: CellId) -> &[usize] {
-        &self.cells[cell].points
+        &self.packed[self.offsets[cell]..self.offsets[cell + 1]]
     }
 
-    /// Integer key of cell `cell`.
+    /// Integer key of cell `cell` — a slice of the interned flat key buffer.
     pub fn key(&self, cell: CellId) -> &[i64] {
-        &self.cells[cell].key
+        assert!(cell < self.num_cells(), "cell id {cell} out of range");
+        self.interned_key(cell)
     }
 
     /// The centre coordinate of cell `cell` (the query point `cp_i` of the joint
     /// range search, §4.2).
     pub fn center(&self, cell: CellId) -> Vec<f64> {
-        self.cells[cell]
-            .key
+        self.key(cell)
             .iter()
             .zip(self.origin.iter())
             .map(|(&k, &o)| o + (k as f64 + 0.5) * self.side)
@@ -169,7 +282,7 @@ impl Grid {
 
     /// Iterates over all cell identifiers.
     pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
-        0..self.cells.len()
+        0..self.num_cells()
     }
 
     /// Existing (non-empty) cells whose integer key differs from `cell`'s key by
@@ -179,7 +292,7 @@ impl Grid {
     /// lies in a cell within Chebyshev distance `⌈√d⌉` — a constant for fixed
     /// `d`, which is what makes `|N(c)| = O(1)` in the paper's analysis.
     pub fn neighbors_within(&self, cell: CellId, chebyshev: i64) -> Vec<CellId> {
-        let key = &self.cells[cell].key;
+        let key = self.key(cell);
         let mut out = Vec::new();
         let mut offset = vec![-chebyshev; self.dim];
         let mut probe: Vec<i64> = vec![0; self.dim];
@@ -192,7 +305,7 @@ impl Grid {
                 }
             }
             if !all_zero {
-                if let Some(&cid) = self.by_key.get(probe.as_slice()) {
+                if let Some(cid) = self.probe(&probe) {
                     out.push(cid);
                 }
             }
@@ -212,17 +325,16 @@ impl Grid {
         }
     }
 
-    /// Approximate heap memory used by the grid, in bytes.
+    /// Approximate heap memory used by the grid, in bytes. Everything is flat:
+    /// the interned key buffer, the CSR offsets and packed point ids, the key
+    /// table, and the point→cell map.
     pub fn mem_usage(&self) -> usize {
-        let mut bytes = self.cells.capacity() * std::mem::size_of::<Cell>()
+        self.keys.capacity() * std::mem::size_of::<i64>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.packed.capacity() * std::mem::size_of::<usize>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
             + self.point_cell.capacity() * std::mem::size_of::<CellId>()
-            + self.by_key.capacity()
-                * (std::mem::size_of::<CellKey>() + std::mem::size_of::<CellId>());
-        for cell in &self.cells {
-            bytes += cell.points.capacity() * std::mem::size_of::<usize>()
-                + cell.key.len() * std::mem::size_of::<i64>() * 2;
-        }
-        bytes
+            + self.origin.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -283,6 +395,9 @@ mod tests {
             assert_eq!(grid.cell_by_key(&key), Some(grid.cell_of(id)));
         }
         assert_eq!(grid.cell_at(&[-500.0, -500.0]), None);
+        // A key of the wrong dimensionality finds nothing (and terminates).
+        assert_eq!(grid.cell_by_key(&[0]), None);
+        assert_eq!(grid.cell_by_key(&[0, 0, 0]), None);
     }
 
     #[test]
@@ -374,5 +489,92 @@ mod tests {
         let ds = square_dataset();
         let grid = Grid::build(&ds, 10.0);
         assert!(grid.mem_usage() > 0);
+    }
+
+    #[test]
+    fn csr_layout_is_compact_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut ds = Dataset::new(2);
+        for _ in 0..800 {
+            ds.push(&[rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)]);
+        }
+        let grid = Grid::build(&ds, 4.5);
+        // Offsets are monotone and cover every point exactly once.
+        assert_eq!(grid.offsets.len(), grid.num_cells() + 1);
+        assert_eq!(*grid.offsets.first().unwrap(), 0);
+        assert_eq!(*grid.offsets.last().unwrap(), ds.len());
+        assert!(grid.offsets.windows(2).all(|w| w[0] < w[1]), "no cell may be empty");
+        // The packed array is a permutation of 0..n, ascending within a cell.
+        let mut seen = vec![false; ds.len()];
+        for c in grid.cell_ids() {
+            let pts = grid.points(c);
+            assert!(pts.windows(2).all(|w| w[0] < w[1]), "cell {c} not ascending");
+            for &p in pts {
+                assert!(!seen[p]);
+                seen[p] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+        // The interned key buffer holds exactly one key per cell.
+        assert_eq!(grid.keys.len(), grid.num_cells() * grid.dim());
+    }
+
+    #[test]
+    fn cell_ids_follow_first_appearance_order() {
+        // Cell ids are assigned in order of each cell's first point, exactly
+        // as the previous per-cell-Vec layout did — downstream code (e.g.
+        // S-Approx-DPC's "first point of the cell is the picked point") relies
+        // on this.
+        let mut ds = Dataset::new(2);
+        for &x in &[5.0, 55.0, 5.0, 105.0, 55.0, 5.0] {
+            ds.push(&[x, 0.0]);
+        }
+        let grid = Grid::build(&ds, 50.0);
+        assert_eq!(grid.num_cells(), 3);
+        assert_eq!(grid.cell_of(0), 0);
+        assert_eq!(grid.cell_of(1), 1);
+        assert_eq!(grid.cell_of(3), 2);
+        assert_eq!(grid.points(0), &[0, 2, 5]);
+        assert_eq!(grid.points(1), &[1, 4]);
+        assert_eq!(grid.points(2), &[3]);
+    }
+
+    #[test]
+    fn duplicate_heavy_input_interns_each_key_once() {
+        // 600 points in 4 distinct locations: 4 cells, 4 interned keys, and
+        // the key table keeps resolving every point after several growths of
+        // unrelated cells would have been possible.
+        let mut ds = Dataset::new(2);
+        for i in 0..600 {
+            let corner = (i % 4) as f64;
+            ds.push(&[corner * 30.0, corner * 30.0]);
+        }
+        let grid = Grid::build(&ds, 10.0);
+        assert_eq!(grid.num_cells(), 4);
+        assert_eq!(grid.keys.len(), 4 * 2);
+        let total: usize = grid.cell_ids().map(|c| grid.points(c).len()).sum();
+        assert_eq!(total, 600);
+        for id in 0..ds.len() {
+            assert_eq!(grid.cell_of(id), id % 4);
+        }
+    }
+
+    #[test]
+    fn table_growth_keeps_all_cells_resolvable() {
+        // Enough distinct cells to force several grow-and-rehash rounds
+        // (initial capacity 16, load factor 3/4).
+        let mut ds = Dataset::new(2);
+        for x in 0..40 {
+            for y in 0..40 {
+                ds.push(&[x as f64 * 10.0, y as f64 * 10.0]);
+            }
+        }
+        let grid = Grid::build(&ds, 10.0);
+        assert_eq!(grid.num_cells(), 1600);
+        assert!(grid.table.len() >= 1600 * 4 / 3);
+        assert!(grid.table.len().is_power_of_two());
+        for (id, coords) in ds.iter() {
+            assert_eq!(grid.cell_at(coords), Some(grid.cell_of(id)));
+        }
     }
 }

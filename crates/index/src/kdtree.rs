@@ -32,6 +32,16 @@
 //! `O(n/LEAF_BUCKET)` nodes — `O(n)` space for fixed `d`, as the paper's space
 //! analysis (Theorem 3) requires.
 //!
+//! * **Parallel construction.** After a median split the two child ranges are
+//!   completely independent, so [`KdTree::build_parallel`] fans the top
+//!   `⌈log₂ threads⌉` levels of the recursion out across workers with
+//!   [`Executor::join`]. The preorder node index and packed range of every
+//!   subtree are pure functions of the subtree's size (a median split puts
+//!   `⌊m/2⌋` points left), so the whole `nodes`/`bounds`/`ids`/`coords`
+//!   storage is allocated up front and each worker writes its disjoint
+//!   pre-reserved slice — the resulting tree is **bit-identical** to the
+//!   serial build at every thread count.
+//!
 //! The tree is immutable. Ex-DPC's dependent-point phase, which needs
 //! incremental insertion in density order, uses the separate
 //! [`IncrementalKdTree`](crate::IncrementalKdTree) arena tree; keeping mutation
@@ -41,6 +51,7 @@ use dpc_geometry::distance::{
     dist_sq, dist_sq_2, dist_sq_3, max_dist_sq_to_rect, min_dist_sq_to_rect,
 };
 use dpc_geometry::Dataset;
+use dpc_parallel::Executor;
 
 /// Maximum number of points per leaf bucket. Buckets are scanned linearly, so
 /// the value trades tree depth (build cost, inner-node overhead) against scan
@@ -53,6 +64,16 @@ pub const LEAF_BUCKET: usize = 16;
 const STACK_CAP: usize = 64;
 
 const NONE: u32 = u32::MAX;
+
+/// Minimum number of points in a range before the build forks it: below this
+/// the ~10–30 µs cost of spawning a scoped thread exceeds the work handed
+/// over. Also gates [`KdTree::build_parallel`] as a whole — a dataset smaller
+/// than this builds inline with zero spawns regardless of the executor.
+const MIN_FORK_POINTS: usize = 1024;
+
+/// Upper bound on fork depth (2⁸ = 256 leaf tasks), a guard against executors
+/// reporting absurd thread counts; real fan-out is `⌈log₂ threads⌉` levels.
+const MAX_FORK_LEVELS: usize = 8;
 
 /// One flat tree node. The node covers packed positions `start..end`; its
 /// subtree size is `end - start`. Inner nodes have their left child at the
@@ -85,10 +106,24 @@ pub struct KdTree<'a> {
 }
 
 impl<'a> KdTree<'a> {
-    /// Builds the packed tree over every point of `data`.
+    /// Builds the packed tree over every point of `data`, serially.
     pub fn build(data: &'a Dataset) -> Self {
+        Self::build_parallel(data, &Executor::single())
+    }
+
+    /// Builds the packed tree over every point of `data`, fanning the top
+    /// `⌈log₂ threads⌉` levels of the median-split recursion out across the
+    /// executor's workers via [`Executor::join`].
+    ///
+    /// The result is **bit-identical** to [`KdTree::build`] at every thread
+    /// count: every subtree's preorder node index, packed range and storage
+    /// extent are pure functions of the subtree's size, so workers fill
+    /// disjoint pre-reserved slices of the same arrays the serial build
+    /// fills, with the same deterministic median selection. Datasets smaller
+    /// than a fork threshold build inline with zero spawns.
+    pub fn build_parallel(data: &'a Dataset, executor: &Executor) -> Self {
         let ids: Vec<u32> = (0..data.len() as u32).collect();
-        let mut tree = Self::build_from_ids(data, ids);
+        let mut tree = Self::build_from_ids(data, ids, executor);
         let mut pos = vec![NONE; data.len()];
         for (p, &id) in tree.ids.iter().enumerate() {
             pos[id as usize] = p as u32;
@@ -100,25 +135,49 @@ impl<'a> KdTree<'a> {
     /// Builds the packed tree over a subset of point identifiers.
     ///
     /// Used by Approx-DPC's exact dependent-point fallback, which partitions
-    /// `P` into `s` subsets ordered by local density and indexes each one.
+    /// `P` into `s` subsets ordered by local density and indexes each one —
+    /// the subset trees are built concurrently (one task per subset), so each
+    /// individual build stays serial.
     pub fn build_subset(data: &'a Dataset, ids: &[usize]) -> Self {
         let ids: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-        Self::build_from_ids(data, ids)
+        Self::build_from_ids(data, ids, &Executor::single())
     }
 
-    fn build_from_ids(data: &'a Dataset, mut ids: Vec<u32>) -> Self {
+    fn build_from_ids(data: &'a Dataset, mut ids: Vec<u32>, executor: &Executor) -> Self {
         let dim = data.dim();
         let n = ids.len();
-        let node_cap = if n == 0 { 0 } else { 2 * n.div_ceil(LEAF_BUCKET) };
-        let mut nodes = Vec::with_capacity(node_cap);
-        let mut bounds = Vec::with_capacity(node_cap * 2 * dim);
-        if n > 0 {
-            build_rec(data, &mut ids, 0, n, &mut nodes, &mut bounds, dim);
+        if n == 0 {
+            return Self {
+                data,
+                dim,
+                ids,
+                coords: Vec::new(),
+                pos: None,
+                nodes: Vec::new(),
+                bounds: Vec::new(),
+            };
         }
-        let mut coords = Vec::with_capacity(n * dim);
-        for &id in &ids {
-            coords.extend_from_slice(data.point(id as usize));
-        }
+        // The preorder layout of every subtree is determined by its size, so
+        // all storage can be reserved exactly and written in place — which is
+        // what lets independent subtrees be built by different workers.
+        let total_nodes = subtree_nodes(n);
+        let mut nodes = vec![Node { start: 0, end: 0, right: NONE }; total_nodes];
+        let mut bounds = vec![0.0f64; total_nodes * 2 * dim];
+        let mut coords = vec![0.0f64; n * dim];
+        let fork_levels = fork_levels(executor.threads(), n);
+        let written = build_rec(
+            &BuildCtx { data, dim, executor },
+            Subtree {
+                ids: &mut ids,
+                coords: &mut coords,
+                nodes: &mut nodes,
+                bounds: &mut bounds,
+                offset: 0,
+                node_base: 0,
+            },
+            fork_levels,
+        );
+        debug_assert_eq!(written, total_nodes, "preorder node count must be exact");
         Self { data, dim, ids, coords, pos: None, nodes, bounds }
     }
 
@@ -353,6 +412,26 @@ impl<'a> KdTree<'a> {
         self.data
     }
 
+    /// Whether two trees have bit-identical packed layouts: same permuted
+    /// identifiers, packed coordinate rows, preorder nodes and bounding boxes
+    /// (floats compared by bit pattern, so even a `-0.0` vs `0.0` discrepancy
+    /// fails). This is the property the parallel build guarantees against the
+    /// serial build at every thread count, and what the determinism tests
+    /// assert.
+    pub fn layout_eq(&self, other: &Self) -> bool {
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && std::iter::zip(a, b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.dim == other.dim
+            && self.ids == other.ids
+            && bits_eq(&self.coords, &other.coords)
+            && self.nodes.len() == other.nodes.len()
+            && std::iter::zip(&self.nodes, &other.nodes)
+                .all(|(a, b)| a.start == b.start && a.end == b.end && a.right == b.right)
+            && bits_eq(&self.bounds, &other.bounds)
+            && self.pos == other.pos
+    }
+
     /// Approximate heap memory used by the index, in bytes (packed ids and
     /// coordinates, position map, nodes, and bounding boxes; the original
     /// coordinates belong to the dataset).
@@ -365,36 +444,88 @@ impl<'a> KdTree<'a> {
     }
 }
 
-/// Recursive packed construction over positions `start..end` of `ids`: records
-/// the node (preorder) with its bounding box, then median-splits on the box's
-/// widest axis until the range fits a leaf bucket.
-fn build_rec(
-    data: &Dataset,
-    ids: &mut [u32],
-    start: usize,
-    end: usize,
-    nodes: &mut Vec<Node>,
-    bounds: &mut Vec<f64>,
+/// Number of preorder nodes a packed subtree over `m` points occupies. A
+/// median split puts `⌊m/2⌋` points in the left child, so the recursion shape
+/// — and with it every subtree's storage extent — depends only on `m`. This is
+/// what allows the parallel build to reserve disjoint output slices before
+/// descending.
+fn subtree_nodes(m: usize) -> usize {
+    if m <= LEAF_BUCKET {
+        1
+    } else {
+        let left = m / 2;
+        1 + subtree_nodes(left) + subtree_nodes(m - left)
+    }
+}
+
+/// Fork depth for a parallel build: `⌈log₂ threads⌉` levels, so every
+/// configured worker receives a subtree (capped, and zero for inputs too
+/// small to amortise a spawn). For a non-power-of-two thread count the
+/// frontier has up to `2^⌈log₂ t⌉ < 2t` tasks, i.e. some workers process two
+/// subtrees — bounded oversubscription in exchange for no idle workers.
+fn fork_levels(threads: usize, n: usize) -> usize {
+    if threads <= 1 || n < MIN_FORK_POINTS {
+        0
+    } else {
+        (threads.next_power_of_two().trailing_zeros() as usize).min(MAX_FORK_LEVELS)
+    }
+}
+
+/// Build inputs shared by every recursion frame.
+struct BuildCtx<'a, 'e> {
+    data: &'a Dataset,
     dim: usize,
-) -> u32 {
-    let node_idx = nodes.len() as u32;
-    nodes.push(Node { start: start as u32, end: end as u32, right: NONE });
-    let b0 = bounds.len();
-    bounds.resize(b0 + dim, f64::INFINITY);
-    bounds.resize(b0 + 2 * dim, f64::NEG_INFINITY);
-    for &id in &ids[start..end] {
-        let p = data.point(id as usize);
+    executor: &'e Executor,
+}
+
+/// One subtree's slice of the build output: its range of the permuted `ids`
+/// (starting at packed position `offset`), the matching rows of `coords`, and
+/// its preorder run of `nodes`/`bounds` (whose first node has global index
+/// `node_base`). Disjoint by construction, so a frame can be handed to a
+/// forked worker.
+struct Subtree<'t> {
+    ids: &'t mut [u32],
+    coords: &'t mut [f64],
+    nodes: &'t mut [Node],
+    bounds: &'t mut [f64],
+    offset: usize,
+    node_base: u32,
+}
+
+/// Recursive packed construction: records the subtree's root node (preorder)
+/// with its bounding box, median-splits on the box's widest axis until the
+/// range fits a leaf bucket, and copies leaf coordinate rows into place.
+/// Returns the number of nodes written.
+///
+/// While `fork_levels > 0` the two children after the split are built by
+/// [`Executor::join`] into pre-reserved disjoint halves of the output slices,
+/// which keeps the result bit-identical to the inline recursion.
+fn build_rec(ctx: &BuildCtx<'_, '_>, sub: Subtree<'_>, fork_levels: usize) -> usize {
+    let dim = ctx.dim;
+    let m = sub.ids.len();
+    sub.nodes[0] = Node { start: sub.offset as u32, end: (sub.offset + m) as u32, right: NONE };
+    let (bbox, child_bounds) = sub.bounds.split_at_mut(2 * dim);
+    bbox[..dim].fill(f64::INFINITY);
+    bbox[dim..].fill(f64::NEG_INFINITY);
+    for &id in sub.ids.iter() {
+        let p = ctx.data.point(id as usize);
         for a in 0..dim {
-            if p[a] < bounds[b0 + a] {
-                bounds[b0 + a] = p[a];
+            if p[a] < bbox[a] {
+                bbox[a] = p[a];
             }
-            if p[a] > bounds[b0 + dim + a] {
-                bounds[b0 + dim + a] = p[a];
+            if p[a] > bbox[dim + a] {
+                bbox[dim + a] = p[a];
             }
         }
     }
-    if end - start <= LEAF_BUCKET {
-        return node_idx;
+    if m <= LEAF_BUCKET {
+        // The range is final: no split below a leaf re-partitions it, so the
+        // packed coordinate rows can be written here (in parallel across
+        // forked subtrees) instead of in a serial pass after construction.
+        for (k, &id) in sub.ids.iter().enumerate() {
+            sub.coords[k * dim..(k + 1) * dim].copy_from_slice(ctx.data.point(id as usize));
+        }
+        return 1;
     }
     // Split on the widest axis of the exact bounding box: on clustered data
     // this keeps boxes closer to cubes than depth-cycling, which is what makes
@@ -402,23 +533,82 @@ fn build_rec(
     let mut axis = 0usize;
     let mut widest = f64::NEG_INFINITY;
     for a in 0..dim {
-        let w = bounds[b0 + dim + a] - bounds[b0 + a];
+        let w = bbox[dim + a] - bbox[a];
         if w > widest {
             widest = w;
             axis = a;
         }
     }
-    let mid = (start + end) / 2;
-    ids[start..end].select_nth_unstable_by(mid - start, |&x, &y| {
-        let cx = data.point(x as usize)[axis];
-        let cy = data.point(y as usize)[axis];
+    let mid = m / 2;
+    sub.ids.select_nth_unstable_by(mid, |&x, &y| {
+        let cx = ctx.data.point(x as usize)[axis];
+        let cy = ctx.data.point(y as usize)[axis];
         cx.partial_cmp(&cy).unwrap_or(std::cmp::Ordering::Equal)
     });
-    let left = build_rec(data, ids, start, mid, nodes, bounds, dim);
-    debug_assert_eq!(left, node_idx + 1, "left child must follow its parent in preorder");
-    let right = build_rec(data, ids, mid, end, nodes, bounds, dim);
-    nodes[node_idx as usize].right = right;
-    node_idx
+    let (left_ids, right_ids) = sub.ids.split_at_mut(mid);
+    let (left_coords, right_coords) = sub.coords.split_at_mut(mid * dim);
+    let child_nodes = &mut sub.nodes[1..];
+    if fork_levels > 0 && m >= MIN_FORK_POINTS {
+        // Both children's node counts are known up front, so their output
+        // slices can be split off before either child runs.
+        let left_nodes = subtree_nodes(mid);
+        let (ln, rn) = child_nodes.split_at_mut(left_nodes);
+        let (lb, rb) = child_bounds.split_at_mut(left_nodes * 2 * dim);
+        let right_base = sub.node_base + 1 + left_nodes as u32;
+        let left = Subtree {
+            ids: left_ids,
+            coords: left_coords,
+            nodes: ln,
+            bounds: lb,
+            offset: sub.offset,
+            node_base: sub.node_base + 1,
+        };
+        let right = Subtree {
+            ids: right_ids,
+            coords: right_coords,
+            nodes: rn,
+            bounds: rb,
+            offset: sub.offset + mid,
+            node_base: right_base,
+        };
+        let (used_l, used_r) = ctx.executor.join(
+            || build_rec(ctx, left, fork_levels - 1),
+            || build_rec(ctx, right, fork_levels - 1),
+        );
+        debug_assert_eq!(used_l, left_nodes, "left subtree must fill its reserved run exactly");
+        sub.nodes[0].right = right_base;
+        1 + used_l + used_r
+    } else {
+        let used_l = build_rec(
+            ctx,
+            Subtree {
+                ids: left_ids,
+                coords: left_coords,
+                nodes: &mut child_nodes[..],
+                bounds: &mut child_bounds[..],
+                offset: sub.offset,
+                node_base: sub.node_base + 1,
+            },
+            0,
+        );
+        let (_, rn) = child_nodes.split_at_mut(used_l);
+        let (_, rb) = child_bounds.split_at_mut(used_l * 2 * dim);
+        let right_base = sub.node_base + 1 + used_l as u32;
+        let used_r = build_rec(
+            ctx,
+            Subtree {
+                ids: right_ids,
+                coords: right_coords,
+                nodes: rn,
+                bounds: rb,
+                offset: sub.offset + mid,
+                node_base: right_base,
+            },
+            0,
+        );
+        sub.nodes[0].right = right_base;
+        1 + used_l + used_r
+    }
 }
 
 #[cfg(test)]
@@ -634,6 +824,70 @@ mod tests {
             ds.iter().filter(|(_, p)| dist(&[50.0, 50.0], p) < 25.0).map(|(id, _)| id).collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subtree_nodes_counts_the_serial_recursion() {
+        // Directly check the closed-form count against a reference recursion.
+        fn reference(m: usize) -> usize {
+            if m <= LEAF_BUCKET {
+                1
+            } else {
+                1 + reference(m / 2) + reference(m - m / 2)
+            }
+        }
+        for m in 1..2_000 {
+            assert_eq!(subtree_nodes(m), reference(m), "m = {m}");
+        }
+        for (n, seed) in [(5usize, 1u64), (100, 2), (4096, 3), (5000, 4)] {
+            let ds = random_dataset(n, 2, seed);
+            let tree = KdTree::build(&ds);
+            assert_eq!(tree.nodes.len(), subtree_nodes(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Large enough to fork several levels (MIN_FORK_POINTS = 1024), plus
+        // degenerate shapes: duplicates and fewer points than the threshold.
+        let sets = [
+            random_dataset(5_000, 2, 11),
+            random_dataset(4_099, 3, 12), // odd size: uneven splits at every level
+            Dataset::from_flat(2, vec![7.0; 2 * 3000]), // duplicates only
+            random_dataset(300, 2, 13),   // below the fork threshold
+        ];
+        for (i, ds) in sets.iter().enumerate() {
+            let serial = KdTree::build(ds);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let par = KdTree::build_parallel(ds, &Executor::new(threads));
+                assert!(par.layout_eq(&serial), "set {i}, threads {threads}");
+                assert!(serial.layout_eq(&par), "set {i}, threads {threads} (symmetric)");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_answers_queries_identically() {
+        let ds = random_dataset(4_000, 2, 44);
+        let tree = KdTree::build_parallel(&ds, &Executor::new(4));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+            let r = rng.gen_range(1.0..30.0);
+            assert_eq!(tree.range_count(&q, r, None), brute_range_count(&ds, &q, r, None));
+        }
+    }
+
+    #[test]
+    fn layout_eq_detects_differences() {
+        let (ds_a, ds_b, ds_c) =
+            (random_dataset(200, 2, 1), random_dataset(200, 2, 2), random_dataset(150, 2, 1));
+        let a = KdTree::build(&ds_a);
+        let b = KdTree::build(&ds_b);
+        let c = KdTree::build(&ds_c);
+        assert!(!a.layout_eq(&b));
+        assert!(!a.layout_eq(&c));
+        assert!(a.layout_eq(&a));
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //!   coordinates, flat preorder nodes carrying subtree counts and bounding
 //!   boxes). Range counting gets three-way pruning — a subtree whose box lies
 //!   entirely inside the query ball contributes its size without visiting a
-//!   point — and all query paths are allocation-free. See the module docs of
-//!   [`kdtree`] for the layout.
+//!   point — and all query paths are allocation-free. Construction fans out
+//!   across worker threads ([`KdTree::build_parallel`]) with a bit-identical
+//!   result at every thread count. See the module docs of [`kdtree`] for the
+//!   layout.
 //! * [`IncrementalKdTree`] — the one-point-per-node arena tree supporting
 //!   **incremental insertion**: Ex-DPC builds the optimal tree for
 //!   dependent-point retrieval one point at a time (§3). Also retains the

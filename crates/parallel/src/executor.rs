@@ -57,6 +57,45 @@ impl Executor {
         self.threads
     }
 
+    /// Runs two independent closures, potentially in parallel, and returns
+    /// both results (a fork-join / scoped-task primitive).
+    ///
+    /// The second closure is forked onto a scoped worker thread while the
+    /// first runs on the calling thread, so a divide-and-conquer caller that
+    /// splits its work in half at every fork saturates `t` workers after
+    /// `⌈log₂ t⌉` recursion levels. On a single-threaded executor both
+    /// closures run inline, in order, with no spawn and no synchronisation.
+    ///
+    /// The executor does not track outstanding forks: callers bound the
+    /// parallelism by bounding their fork depth (fan out the top
+    /// `⌈log₂ threads⌉` levels of the recursion, run everything below them
+    /// inline). The packed kd-tree build in `dpc-index` is the canonical
+    /// user.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        if self.threads == 1 {
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        } else {
+            std::thread::scope(|scope| {
+                let right = scope.spawn(b);
+                let left = a();
+                match right.join() {
+                    Ok(rb) => (left, rb),
+                    // Re-raise the original payload so the panic message and
+                    // location survive the thread boundary.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+        }
+    }
+
     /// Runs `f(i)` for every `i in 0..n` with dynamic self-scheduling: idle
     /// workers repeatedly claim the next unprocessed index from a shared
     /// counter. Equivalent to `#pragma omp parallel for schedule(dynamic)`.
@@ -314,6 +353,50 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s));
         }
+    }
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        for threads in [1usize, 2, 8] {
+            let ex = Executor::new(threads);
+            let (a, b) = ex.join(|| 2 + 2, || "forked".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "forked");
+        }
+    }
+
+    #[test]
+    fn join_nests_like_a_fork_join_recursion() {
+        // A depth-limited parallel sum: the shape the kd-tree build uses.
+        fn sum(ex: &Executor, range: std::ops::Range<u64>, levels: usize) -> u64 {
+            let span = range.end - range.start;
+            if levels == 0 || span < 4 {
+                return range.sum();
+            }
+            let mid = range.start + span / 2;
+            let (a, b) = ex.join(
+                || sum(ex, range.start..mid, levels - 1),
+                || sum(ex, mid..range.end, levels - 1),
+            );
+            a + b
+        }
+        let want: u64 = (0..10_000).sum();
+        for threads in [1usize, 2, 4, 8] {
+            let ex = Executor::new(threads);
+            for levels in [0usize, 1, 3] {
+                assert_eq!(sum(&ex, 0..10_000, levels), want, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_closures_can_borrow_mutably_and_disjointly() {
+        let mut left = [0u32; 8];
+        let mut right = [0u32; 8];
+        let ex = Executor::new(4);
+        ex.join(|| left.iter_mut().for_each(|v| *v = 1), || right.iter_mut().for_each(|v| *v = 2));
+        assert!(left.iter().all(|&v| v == 1));
+        assert!(right.iter().all(|&v| v == 2));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   — Approx-DPC's two-phase approach (§4.5): estimate the cost of every task,
 //!   then assign tasks to threads with Graham's 3/2-approximation greedy (LPT)
 //!   so every thread receives almost the same total cost.
+//! * **Fork-join** ([`Executor::join`]) — two independent closures run as a
+//!   scoped task pair, which gives divide-and-conquer callers (the parallel
+//!   packed kd-tree build in `dpc-index`) depth-limited nested parallelism
+//!   without a work-stealing runtime.
 //!
 //! All primitives run inline when the executor has a single thread, so the
 //! single-threaded numbers reported by the benchmark harness contain no

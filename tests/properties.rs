@@ -171,6 +171,111 @@ fn packed_fit_is_bit_identical_to_seed_tree_fit() {
     }
 }
 
+/// The packed tree built in parallel must be bit-identical — same permuted
+/// ids, packed coordinate rows, preorder nodes and bounding boxes — to the
+/// serial build at every thread count. This is the contract that lets every
+/// caller (Ex-DPC, Approx-DPC, S-Approx-DPC, DBSCAN) adopt the parallel build
+/// without any behavioural change.
+#[test]
+fn parallel_kdtree_build_is_bit_identical_across_thread_counts() {
+    use fast_dpc::parallel::Executor;
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0x9D00 + seed);
+        // Sizes straddling the fork threshold (1024 points), in 2-d and 3-d,
+        // uniform and duplicate-heavy (lattice-snapped).
+        let small_n = rng.gen_range(2..600);
+        let forked_n = rng.gen_range(1_500..5_000);
+        let forked_3d_n = rng.gen_range(1_500..4_000);
+        let shapes = [
+            random_dataset_nd(&mut rng, small_n, 2, false),
+            random_dataset_nd(&mut rng, forked_n, 2, false),
+            random_dataset_nd(&mut rng, forked_3d_n, 3, false),
+            random_dataset_nd(&mut rng, 3_000, 2, true),
+        ];
+        for (i, ds) in shapes.iter().enumerate() {
+            let serial = KdTree::build(ds);
+            for threads in [1usize, 2, 4, 8] {
+                let parallel = KdTree::build_parallel(ds, &Executor::new(threads));
+                assert!(
+                    parallel.layout_eq(&serial),
+                    "seed {seed} shape {i} (n = {}): {threads}-thread build differs from serial",
+                    ds.len()
+                );
+            }
+        }
+    }
+    // A collinear worst case: every split degenerates onto one axis.
+    let mut collinear = Dataset::new(2);
+    for i in 0..2_500 {
+        collinear.push(&[(i % 40) as f64, 5.0]);
+    }
+    let serial = KdTree::build(&collinear);
+    for threads in [2usize, 4, 8] {
+        assert!(KdTree::build_parallel(&collinear, &Executor::new(threads)).layout_eq(&serial));
+    }
+}
+
+/// The CSR grid must agree, cell for cell and point for point, with a plain
+/// `HashMap<key, Vec<point>>` reference layout (what the previous
+/// implementation stored directly), including the neighbour enumeration.
+#[test]
+fn csr_grid_matches_hashmap_reference_layout() {
+    use std::collections::{HashMap, HashSet};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC990 + seed);
+        // Alternate uniform and duplicate-heavy (lattice-snapped) datasets.
+        let snap = seed % 2 == 1;
+        let n = rng.gen_range(50..400);
+        let ds = random_dataset_nd(&mut rng, n, 2, snap);
+        let side = rng.gen_range(0.5..25.0);
+        let grid = Grid::build(&ds, side);
+
+        // Reference: straight recomputation of every point's integer key over
+        // the same origin (the dataset's bounding-box low corner).
+        let origin: Vec<f64> =
+            (0..2).map(|a| ds.iter().map(|(_, p)| p[a]).fold(f64::INFINITY, f64::min)).collect();
+        let mut reference: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+        for (id, p) in ds.iter() {
+            let key: Vec<i64> =
+                (0..2).map(|a| ((p[a] - origin[a]) / side).floor() as i64).collect();
+            reference.entry(key).or_default().push(id);
+        }
+
+        assert_eq!(grid.num_cells(), reference.len(), "seed {seed}");
+        for cell in grid.cell_ids() {
+            let key = grid.key(cell).to_vec();
+            let members = reference.get(&key).unwrap_or_else(|| {
+                panic!("seed {seed}: cell {cell} has key {key:?} not in the reference")
+            });
+            // Same membership, same (ascending-id) order, and a consistent
+            // reverse mapping.
+            assert_eq!(grid.points(cell), members.as_slice(), "seed {seed} cell {cell}");
+            for &p in members {
+                assert_eq!(grid.cell_of(p), cell, "seed {seed} point {p}");
+            }
+            assert_eq!(grid.cell_by_key(&key), Some(cell), "seed {seed}");
+        }
+
+        // Neighbour sets match the reference for a couple of radii.
+        for chebyshev in [1i64, 2] {
+            for cell in grid.cell_ids() {
+                let key = grid.key(cell);
+                let got: HashSet<usize> =
+                    grid.neighbors_within(cell, chebyshev).into_iter().collect();
+                let want: HashSet<usize> = reference
+                    .keys()
+                    .filter(|k| {
+                        k.as_slice() != key
+                            && k.iter().zip(key).all(|(a, b)| (a - b).abs() <= chebyshev)
+                    })
+                    .map(|k| grid.cell_by_key(k).unwrap())
+                    .collect();
+                assert_eq!(got, want, "seed {seed} cell {cell} chebyshev {chebyshev}");
+            }
+        }
+    }
+}
+
 #[test]
 fn kdtree_range_count_matches_brute_force() {
     for seed in 0..CASES {
