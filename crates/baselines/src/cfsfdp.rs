@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::jittered_density;
+use dpc_core::framework::{jittered_density, validate_dataset};
 use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
@@ -106,11 +106,9 @@ impl DpcAlgorithm for CfsfdpA {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
+        validate_dataset(data)?;
         let n = data.len();
         let mut timings = Timings::default();
-        if n == 0 {
-            return Err(DpcError::EmptyDataset);
-        }
         let executor = Executor::new(self.params.threads);
         let dcut = self.params.dcut;
         let dcut_sq = dcut * dcut;
@@ -133,6 +131,22 @@ impl DpcAlgorithm for CfsfdpA {
             .map(|members| members.iter().map(|&i| dist_to_pivot[i]).fold(0.0f64, f64::max))
             .collect();
 
+        // Gather each group's coordinates into contiguous rows once: the
+        // density loop scans candidate groups n times, and the row strips keep
+        // those scans sequential in memory (the same layout the batched
+        // kernels use) instead of chasing scattered dataset rows.
+        let dim = data.dim();
+        let group_rows: Vec<Vec<f64>> = groups
+            .iter()
+            .map(|members| {
+                let mut rows = Vec::with_capacity(members.len() * dim);
+                for &j in members {
+                    rows.extend_from_slice(data.point(j));
+                }
+                rows
+            })
+            .collect();
+
         let rho: Vec<f64> = executor.map_dynamic(n, |i| {
             let pi = data.point(i);
             let mut count = 0usize;
@@ -140,18 +154,21 @@ impl DpcAlgorithm for CfsfdpA {
                 let d_pivot = dist(pi, &pivots[c]);
                 // Whole-group pruning: every member q satisfies
                 // dist(p_i, q) ≥ d_pivot − dist(q, pivot) ≥ d_pivot − radius.
-                if d_pivot - group_radius[c] >= dcut {
+                // Strict `>`: at equality a member can sit exactly at d_cut,
+                // which the closed-ball Definition 1 counts.
+                if d_pivot - group_radius[c] > dcut {
                     continue;
                 }
-                for &j in members {
+                let rows = &group_rows[c];
+                for (k, &j) in members.iter().enumerate() {
                     if j == i {
                         continue;
                     }
-                    // Per-point pruning: |d_pivot − dist(q, pivot)| ≥ d_cut ⇒ too far.
-                    if (d_pivot - dist_to_pivot[j]).abs() >= dcut {
+                    // Per-point pruning: |d_pivot − dist(q, pivot)| > d_cut ⇒ too far.
+                    if (d_pivot - dist_to_pivot[j]).abs() > dcut {
                         continue;
                     }
-                    if dist_sq(pi, data.point(j)) < dcut_sq {
+                    if dist_sq(pi, &rows[k * dim..(k + 1) * dim]) <= dcut_sq {
                         count += 1;
                     }
                 }

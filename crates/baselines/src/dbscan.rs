@@ -48,11 +48,20 @@ impl Dbscan {
 
     /// Runs DBSCAN and returns one label per point: cluster ids `0..k` or
     /// [`DBSCAN_NOISE`].
+    ///
+    /// # Panics
+    /// Panics if a coordinate is NaN or ±∞ — like the `DpcAlgorithm` fit paths
+    /// (which return `DpcError::NonFiniteCoordinate`), DBSCAN must not let a
+    /// non-finite coordinate silently defeat the kd-tree's bounding-box
+    /// pruning and produce wrong labels; `run` is infallible, so it asserts.
     pub fn run(&self, data: &Dataset) -> Vec<i64> {
         let n = data.len();
         let mut labels = vec![i64::MIN; n]; // MIN = unvisited
         if n == 0 {
             return Vec::new();
+        }
+        if let Err(e) = dpc_core::framework::validate_dataset(data) {
+            panic!("DBSCAN input rejected: {e}");
         }
         let tree = KdTree::build_parallel(data, &Executor::new(self.threads));
         let mut cluster = 0i64;
@@ -64,9 +73,8 @@ impl Dbscan {
             if labels[start] != i64::MIN {
                 continue;
             }
-            // `range_search_into` uses an open ball; DBSCAN's ε-neighbourhood
-            // is closed, but the difference only matters for points at exactly
-            // ε, which has measure zero for the continuous generators used here.
+            // `range_search_into` uses the closed ball `dist ≤ ε` — exactly
+            // DBSCAN's (closed) ε-neighbourhood definition.
             tree.range_search_into(data.point(start), self.eps, &mut neighbors);
             if neighbors.len() < self.min_pts {
                 labels[start] = DBSCAN_NOISE;
@@ -167,5 +175,12 @@ mod tests {
     #[should_panic(expected = "minPts")]
     fn zero_min_pts_rejected() {
         let _ = Dbscan::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN or infinite")]
+    fn non_finite_coordinates_rejected() {
+        let ds = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, f64::NAN]);
+        let _ = Dbscan::new(1.0, 2).run(&ds);
     }
 }

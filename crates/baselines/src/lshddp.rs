@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use dpc_core::framework::jittered_density;
+use dpc_core::framework::{jittered_density, validate_dataset};
 use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
@@ -89,11 +89,9 @@ impl DpcAlgorithm for LshDdp {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
+        validate_dataset(data)?;
         let n = data.len();
         let mut timings = Timings::default();
-        if n == 0 {
-            return Err(DpcError::EmptyDataset);
-        }
         let executor = Executor::new(self.params.threads);
         let dcut = self.params.dcut;
         let dcut_sq = dcut * dcut;
@@ -122,7 +120,7 @@ impl DpcAlgorithm for LshDdp {
                         let pi = data.point(i);
                         let c = bucket
                             .iter()
-                            .filter(|&&j| j != i && dist_sq(pi, data.point(j)) < dcut_sq)
+                            .filter(|&&j| j != i && dist_sq(pi, data.point(j)) <= dcut_sq)
                             .count();
                         (i, c)
                     })

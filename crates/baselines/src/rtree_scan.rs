@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::jittered_density;
+use dpc_core::framework::{jittered_density, validate_dataset};
 use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::Dataset;
 use dpc_index::RTree;
@@ -46,9 +46,7 @@ impl DpcAlgorithm for RtreeScan {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
-        if data.is_empty() {
-            return Err(DpcError::EmptyDataset);
-        }
+        validate_dataset(data)?;
         let mut timings = Timings::default();
         let start = Instant::now();
         let tree = RTree::build(data);

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use dpc_core::framework::{descending_density_order, jittered_density};
+use dpc_core::framework::{descending_density_order, jittered_density, validate_dataset};
 use dpc_core::{DpcAlgorithm, DpcError, DpcModel, DpcParams, Timings};
 use dpc_geometry::{dist, dist_sq, Dataset};
 use dpc_parallel::Executor;
@@ -32,7 +32,7 @@ impl Scan {
         let seed = self.params.jitter_seed;
         executor.map_dynamic(data.len(), |i| {
             let pi = data.point(i);
-            let count = data.iter().filter(|(j, pj)| *j != i && dist_sq(pi, pj) < dcut_sq).count();
+            let count = data.iter().filter(|(j, pj)| *j != i && dist_sq(pi, pj) <= dcut_sq).count();
             jittered_density(count, i, seed)
         })
     }
@@ -78,9 +78,7 @@ impl DpcAlgorithm for Scan {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
-        if data.is_empty() {
-            return Err(DpcError::EmptyDataset);
-        }
+        validate_dataset(data)?;
         let mut timings = Timings::default();
         let start = Instant::now();
         let rho = self.local_densities(data);

@@ -2,7 +2,9 @@
 //! (`KdTree`) head-to-head against the seed's one-point-per-node arena tree
 //! (`IncrementalKdTree`) on bulk build (serial and fork-join parallel), range
 //! counting, range search and nearest-neighbour search, plus the
-//! incremental-insert path Ex-DPC uses.
+//! incremental-insert path Ex-DPC uses, and the batched bucket kernels
+//! (`batch_count_*` / `batch_search_*`: the scalar reference vs the
+//! dispatching kernel, which is SIMD under `--features simd` on x86_64).
 //!
 //! Results are written to `BENCH_kdtree.json` (schema in `crates/bench/README.md`)
 //! so the perf trajectory of the local-density hot path is recorded PR over PR.
@@ -19,13 +21,53 @@
 use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
 use dpc_bench::schema::{check_or_exit, required};
 use dpc_data::generators::{gaussian_blobs, uniform};
-use dpc_geometry::Dataset;
+use dpc_geometry::{batch, Dataset};
 use dpc_index::{IncrementalKdTree, KdTree};
 use dpc_parallel::Executor;
 use std::hint::black_box;
 
 /// Queries per timed kernel; each bench iteration issues one query.
 const QUERIES: usize = 2_000;
+
+/// Rows per batch-kernel invocation (a large contiguous strip, so the timed
+/// work is the kernel itself rather than loop setup).
+const BATCH_ROWS: usize = 4_096;
+
+/// Benchmarks the batched bucket kernels over one contiguous strip of the
+/// dataset's row-major coordinates: the scalar reference against the
+/// dispatching kernel (SIMD when the `simd` feature is on and the CPU has
+/// SSE2/AVX2; the same scalar path otherwise, keeping the kernel set stable).
+fn run_batch_suite(records: &mut Vec<BenchRecord>, data: &Dataset, radius: f64, label: &str) {
+    let d = data.dim();
+    let rows_n = BATCH_ROWS.min(data.len());
+    let rows = &data.flat()[..rows_n * d];
+    let r_sq = radius * radius;
+    let mut i = 0usize;
+    records.push(bench_record(&format!("batch_count_scalar_{label}"), rows_n, d, QUERIES, || {
+        i = (i + 97) % rows_n;
+        black_box(batch::count_within_scalar(data.point(i), rows, d, r_sq))
+    }));
+    let mut i = 0usize;
+    records.push(bench_record(&format!("batch_count_simd_{label}"), rows_n, d, QUERIES, || {
+        i = (i + 97) % rows_n;
+        black_box(batch::count_within(data.point(i), rows, d, r_sq))
+    }));
+    let mut hits: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    records.push(bench_record(&format!("batch_search_scalar_{label}"), rows_n, d, QUERIES, || {
+        i = (i + 97) % rows_n;
+        hits.clear();
+        batch::search_within_into_scalar(data.point(i), rows, d, r_sq, &mut hits);
+        black_box(hits.len())
+    }));
+    let mut i = 0usize;
+    records.push(bench_record(&format!("batch_search_simd_{label}"), rows_n, d, QUERIES, || {
+        i = (i + 97) % rows_n;
+        hits.clear();
+        batch::search_within_into(data.point(i), rows, d, r_sq, &mut hits);
+        black_box(hits.len())
+    }));
+}
 
 fn clustered_2d(n: usize) -> Dataset {
     let centers: Vec<(f64, f64)> = (0..10)
@@ -154,6 +196,17 @@ fn main() {
     println!("kd_tree uniform 3d (n = {n3})");
     run_suite(&mut records, &data3, 60.0, "3d", &executor);
 
+    // Batched bucket kernels, scalar vs SIMD dispatch, on both workloads.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    println!(
+        "batch dispatch path: {}",
+        if std::arch::is_x86_feature_detected!("avx2") { "avx2" } else { "sse2" }
+    );
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    println!("batch dispatch path: scalar (simd feature off or non-x86_64)");
+    run_batch_suite(&mut records, &data2, 10.0, "2d");
+    run_batch_suite(&mut records, &data3, 60.0, "3d");
+
     // Build scaling: the parallel fork-join build against the serial build at
     // a cardinality where construction is the dominant fixed cost of the
     // index-based algorithms (default n = 1M, --build-n to override).
@@ -176,6 +229,15 @@ fn main() {
     println!("range_count speedup (2d, mean): {:.2}x", speedup("range_count_2d"));
     println!("range_search speedup (2d, mean): {:.2}x", speedup("range_search_2d"));
     println!("nearest_neighbor speedup (2d, mean): {:.2}x", speedup("nearest_neighbor_2d"));
+    for label in ["2d", "3d"] {
+        println!(
+            "batch count/search simd-vs-scalar speedup ({label}, mean): {:.2}x / {:.2}x",
+            mean_of(&format!("batch_count_scalar_{label}"))
+                / mean_of(&format!("batch_count_simd_{label}")),
+            mean_of(&format!("batch_search_scalar_{label}"))
+                / mean_of(&format!("batch_search_simd_{label}")),
+        );
+    }
     println!(
         "parallel build speedup (n = {}, {} threads, mean): {:.2}x",
         xl.len(),

@@ -256,6 +256,10 @@ pub mod required {
         "packed_range_count_2d",
         "packed_range_search_2d",
         "packed_nearest_neighbor_2d",
+        "batch_count_scalar_2d",
+        "batch_count_simd_2d",
+        "batch_search_scalar_2d",
+        "batch_search_simd_2d",
     ];
     /// `BENCH_local_density.json` (`benches/local_density.rs`).
     pub const LOCAL_DENSITY: &[&str] =

@@ -8,6 +8,9 @@
 //!   search per *cell* (query = cell centre `cp_i`, radius
 //!   `d_cut + dist(cp_i, p′)`) returns a superset of every per-point ball in
 //!   the cell; exact densities are then computed by scanning that superset.
+//!   The superset's coordinates are gathered into contiguous rows once per
+//!   cell, so the per-member scans run on the batched (optionally SIMD)
+//!   `dpc_geometry::batch` kernels with the shared closed-ball semantics.
 //! * **Cell-based dependent-point approximation** (§4.3) — a point that is not
 //!   the densest of its cell takes the cell's densest point `p*(c)` as its
 //!   approximate dependent point (distance at most `d_cut`); the cell's densest
@@ -22,12 +25,12 @@
 
 use std::time::Instant;
 
-use dpc_geometry::{dist, dist_sq, Dataset};
+use dpc_geometry::{batch, dist, Dataset};
 use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
-use crate::framework::{ascending_density_order, jittered_density};
+use crate::framework::{ascending_density_order, jittered_density, validate_dataset};
 use crate::model::DpcModel;
 use crate::params::DpcParams;
 use crate::result::Timings;
@@ -39,7 +42,7 @@ struct CellMeta {
     p_star: usize,
     /// The minimum (jittered) density among the cell's points.
     min_rho: f64,
-    /// Cells containing a point `p ∉ P(c)` with `dist(p*(c), p) < d_cut`.
+    /// Cells containing a point `p ∉ P(c)` with `dist(p*(c), p) ≤ d_cut`.
     neighbors: Vec<usize>,
 }
 
@@ -107,20 +110,28 @@ impl ApproxDpc {
             .map(|(ci, &c)| (grid.points(c).len() * supersets[ci].len().max(1)) as f64)
             .collect();
         let dcut_sq = dcut * dcut;
+        let dim = data.dim();
         let (cell_results, _) = executor.map_partitioned(&cost_scan, |ci| {
             let cell = cells[ci];
             let members = grid.points(cell);
             let superset = &supersets[ci];
+            // Gather the superset's coordinates into contiguous rows once:
+            // every member of the cell scans the same superset, so the gather
+            // amortises over |P(c)| batched closed-ball scans.
+            let mut rows: Vec<f64> = Vec::with_capacity(superset.len() * dim);
+            for &q in superset {
+                rows.extend_from_slice(data.point(q));
+            }
             let mut densities = Vec::with_capacity(members.len());
             let mut p_star = members[0];
             let mut best_rho = f64::NEG_INFINITY;
             let mut min_rho = f64::INFINITY;
             for &p in members {
                 let pc = data.point(p);
-                let count = superset
-                    .iter()
-                    .filter(|&&q| q != p && dist_sq(pc, data.point(q)) < dcut_sq)
-                    .count();
+                // The superset always contains p itself (its ball covers the
+                // cell) and dist(p, p) = 0 always matches, so subtracting one
+                // yields the Definition 1 count over `P \ {p}`.
+                let count = batch::count_within(pc, &rows, dim, dcut_sq) - 1;
                 let rho = jittered_density(count, p, seed);
                 if rho > best_rho {
                     best_rho = rho;
@@ -134,12 +145,12 @@ impl ApproxDpc {
             // N(c): cells of superset points within d_cut of p*(c) that are not
             // this cell.
             let star_coords = data.point(p_star);
-            let mut neighbors: Vec<usize> = superset
-                .iter()
-                .filter(|&&q| {
-                    grid.cell_of(q) != cell && dist_sq(star_coords, data.point(q)) < dcut_sq
-                })
-                .map(|&q| grid.cell_of(q))
+            let mut hits: Vec<usize> = Vec::new();
+            batch::search_within_into(star_coords, &rows, dim, dcut_sq, &mut hits);
+            let mut neighbors: Vec<usize> = hits
+                .into_iter()
+                .map(|k| grid.cell_of(superset[k]))
+                .filter(|&c2| c2 != cell)
                 .collect();
             neighbors.sort_unstable();
             neighbors.dedup();
@@ -281,9 +292,7 @@ impl DpcAlgorithm for ApproxDpc {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
-        if data.is_empty() {
-            return Err(DpcError::EmptyDataset);
-        }
+        validate_dataset(data)?;
         let executor = Executor::new(self.params.threads);
         let mut timings = Timings::default();
 

@@ -35,6 +35,17 @@ pub enum DpcError {
     /// estimate densities from; callers that want "empty in, empty out" can
     /// match on this variant explicitly.
     EmptyDataset,
+    /// A dataset coordinate is NaN or ±∞. Non-finite coordinates would not
+    /// panic — they silently defeat bounding-box pruning (every comparison
+    /// with NaN is false), so an index-based range count can drop points and
+    /// return a wrong ρ with no error. `fit` therefore rejects such datasets
+    /// up front, naming the first offending `(point, axis)`.
+    NonFiniteCoordinate {
+        /// Identifier of the first point with a non-finite coordinate.
+        point: usize,
+        /// Axis (dimension index) of the offending coordinate.
+        axis: usize,
+    },
     /// Per-point arrays passed to [`crate::DpcModel::from_parts`] disagree in
     /// length, so they cannot describe the same dataset.
     DimensionMismatch {
@@ -57,6 +68,9 @@ impl fmt::Display for DpcError {
                 write!(f, "invalid threshold {param} = {value}: {requirement}")
             }
             DpcError::EmptyDataset => write!(f, "cannot fit a DPC model on an empty dataset"),
+            DpcError::NonFiniteCoordinate { point, axis } => {
+                write!(f, "coordinate of point {point} on axis {axis} is NaN or infinite")
+            }
             DpcError::DimensionMismatch { what, expected, got } => {
                 write!(f, "per-point array `{what}` has length {got}, expected {expected}")
             }
@@ -85,6 +99,10 @@ mod tests {
         assert!(msg.contains("delta") && msg.contains("10") && msg.contains('9'), "{msg}");
 
         assert!(DpcError::EmptyDataset.to_string().contains("empty"));
+
+        let e = DpcError::NonFiniteCoordinate { point: 17, axis: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("17") && msg.contains('2') && msg.contains("NaN"), "{msg}");
     }
 
     #[test]

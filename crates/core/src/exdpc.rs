@@ -21,7 +21,7 @@ use dpc_index::{IncrementalKdTree, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
-use crate::framework::{descending_density_order, jittered_density};
+use crate::framework::{descending_density_order, jittered_density, validate_dataset};
 use crate::model::DpcModel;
 use crate::params::DpcParams;
 use crate::result::Timings;
@@ -93,9 +93,7 @@ impl DpcAlgorithm for ExDpc {
 
     fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
         self.params.validate()?;
-        if data.is_empty() {
-            return Err(DpcError::EmptyDataset);
-        }
+        validate_dataset(data)?;
         let mut timings = Timings::default();
 
         let start = Instant::now();
@@ -134,7 +132,7 @@ mod tests {
         let rho: Vec<f64> = (0..n)
             .map(|i| {
                 let count = (0..n)
-                    .filter(|&j| j != i && dist(data.point(i), data.point(j)) < params.dcut)
+                    .filter(|&j| j != i && dist(data.point(i), data.point(j)) <= params.dcut)
                     .count();
                 jittered_density(count, i, params.jitter_seed)
             })

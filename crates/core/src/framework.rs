@@ -1,8 +1,31 @@
-//! Steps shared by every DPC algorithm: density tie-breaking, centre/noise
-//! selection, and cluster-label propagation (§2.1 and §2.2, step 4).
+//! Steps shared by every DPC algorithm: input validation, density
+//! tie-breaking, centre/noise selection, and cluster-label propagation (§2.1
+//! and §2.2, step 4).
 
+use crate::error::DpcError;
 use crate::params::Thresholds;
 use crate::result::NOISE;
+use dpc_geometry::Dataset;
+
+/// Validates a dataset for fitting: rejects an empty dataset
+/// ([`DpcError::EmptyDataset`]) and any NaN/±∞ coordinate
+/// ([`DpcError::NonFiniteCoordinate`], naming the first offending point and
+/// axis). Every `DpcAlgorithm::fit` in the workspace calls this before
+/// building an index: a non-finite coordinate does not panic downstream, it
+/// silently breaks bounding-box pruning (all NaN comparisons are false) and
+/// produces wrong densities, which is far worse than an error.
+pub fn validate_dataset(data: &Dataset) -> Result<(), DpcError> {
+    if data.is_empty() {
+        return Err(DpcError::EmptyDataset);
+    }
+    // One pass over the flat row-major buffer; O(n·d), trivially cheap next
+    // to the ρ phase it protects.
+    if let Some(flat_idx) = data.flat().iter().position(|v| !v.is_finite()) {
+        let dim = data.dim();
+        return Err(DpcError::NonFiniteCoordinate { point: flat_idx / dim, axis: flat_idx % dim });
+    }
+    Ok(())
+}
 
 /// Adds a deterministic jitter in `(0, 1)` to an integer local density so that
 /// all densities are pairwise distinct, as the paper assumes for the
@@ -111,6 +134,21 @@ pub fn select_and_assign(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_dataset_rejects_empty_and_non_finite() {
+        assert_eq!(validate_dataset(&Dataset::new(2)), Err(DpcError::EmptyDataset));
+        let ok = Dataset::from_flat(2, vec![0.0, 1.0, -1e300, 2.0]);
+        assert_eq!(validate_dataset(&ok), Ok(()));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let ds = Dataset::from_flat(3, vec![0.0, 0.0, 0.0, 1.0, bad, 1.0]);
+            assert_eq!(
+                validate_dataset(&ds),
+                Err(DpcError::NonFiniteCoordinate { point: 1, axis: 1 }),
+                "{bad}"
+            );
+        }
+    }
 
     #[test]
     fn jitter_is_deterministic_and_in_unit_interval() {

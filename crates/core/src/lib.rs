@@ -1,9 +1,11 @@
 //! Density-Peaks Clustering (DPC) and the paper's three fast algorithms,
 //! exposed through a **fit-once / relabel-many** pipeline.
 //!
-//! Given a set `P` of `n` points and a cutoff distance `d_cut`, DPC computes for
-//! every point its **local density** `ρ` (number of points closer than `d_cut`,
-//! Definition 1) and its **dependent distance** `δ` (distance to the nearest
+//! Given a set `P` of `n` points and a cutoff distance `d_cut`, DPC computes
+//! for every point its **local density** `ρ` (number of other points within
+//! `d_cut`, inclusive — Definition 1; see the `dpc_geometry` crate docs on the
+//! closed-ball boundary semantics) and its **dependent distance** `δ`
+//! (distance to the nearest
 //! point of higher local density, Definitions 2–3), labels points with
 //! `ρ < ρ_min` as noise, selects non-noise points with `δ ≥ δ_min` as cluster
 //! centres, and assigns every other point to the cluster of its dependent point.
@@ -81,7 +83,9 @@ pub trait DpcAlgorithm {
     /// # Errors
     /// * [`DpcError::InvalidParams`] when a structural parameter (`d_cut`, `ε`)
     ///   is outside its domain;
-    /// * [`DpcError::EmptyDataset`] when `data` holds no points.
+    /// * [`DpcError::EmptyDataset`] when `data` holds no points;
+    /// * [`DpcError::NonFiniteCoordinate`] when a coordinate is NaN or ±∞
+    ///   (which would silently defeat index pruning instead of failing).
     fn fit(&self, data: &dpc_geometry::Dataset) -> Result<DpcModel, DpcError>;
 
     /// Convenience one-shot: `fit` followed by a single

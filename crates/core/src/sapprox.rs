@@ -28,7 +28,7 @@ use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
-use crate::framework::jittered_density;
+use crate::framework::{jittered_density, validate_dataset};
 use crate::model::DpcModel;
 use crate::params::DpcParams;
 use crate::result::Timings;
@@ -92,12 +92,10 @@ impl DpcAlgorithm for SApproxDpc {
                 requirement: "must be positive and finite",
             });
         }
+        validate_dataset(data)?;
         let executor = Executor::new(self.params.threads);
         let mut timings = Timings::default();
         let n = data.len();
-        if n == 0 {
-            return Err(DpcError::EmptyDataset);
-        }
         let dcut = self.params.dcut;
         let seed = self.params.jitter_seed;
 
@@ -150,10 +148,14 @@ impl DpcAlgorithm for SApproxDpc {
         let non_picked: Vec<Vec<(usize, f64)>> = executor.map_dynamic(cells.len(), |ci| {
             let cell = cells[ci];
             let picked = picked_cells[ci].picked;
+            let picked_coords = data.point(picked);
+            // The grid stores each cell's coordinates as contiguous CSR rows;
+            // scanning them avoids chasing per-point rows through the dataset.
             grid.points(cell)
                 .iter()
-                .filter(|&&p| p != picked)
-                .map(|&p| (p, dist(data.point(p), data.point(picked))))
+                .zip(grid.coords(cell).chunks_exact(data.dim()))
+                .filter(|&(&p, _)| p != picked)
+                .map(|(&p, row)| (p, dist(row, picked_coords)))
                 .collect()
         });
         for (ci, pairs) in non_picked.into_iter().enumerate() {

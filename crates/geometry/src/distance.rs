@@ -15,9 +15,8 @@
 ///
 /// # Panics
 /// Panics (in debug builds) if the slices have different lengths. Callers must
-/// only pass same-dimensional slices: in release builds a mismatch either uses
-/// the shorter length (generic path) or panics on an out-of-bounds index
-/// (unrolled paths), both of which are logic errors upstream.
+/// only pass same-dimensional slices — see the crate docs for the release-mode
+/// contract shared with the [`crate::batch`] kernels.
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
@@ -52,8 +51,14 @@ pub fn dist_sq_3(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Generic squared-distance loop for arbitrary dimensionality.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths; release
+/// builds would otherwise iterate the shorter slice (see the crate docs for
+/// the release-mode contract).
 #[inline]
 pub fn dist_sq_generic(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
     let mut acc = 0.0;
     for (x, y) in a.iter().zip(b.iter()) {
         let diff = x - y;

@@ -133,14 +133,16 @@ impl Rect {
         true
     }
 
-    /// Whether the open ball `B(center, radius)` intersects the rectangle.
+    /// Whether the **closed** ball `B̄(center, radius)` intersects the
+    /// rectangle (see the crate docs on radius-boundary semantics).
     pub fn intersects_ball(&self, center: &[f64], radius: f64) -> bool {
-        min_dist_sq_to_rect(center, &self.lo, &self.hi) < radius * radius
+        min_dist_sq_to_rect(center, &self.lo, &self.hi) <= radius * radius
     }
 
-    /// Whether the rectangle is entirely inside the open ball `B(center, radius)`.
+    /// Whether the rectangle is entirely inside the **closed** ball
+    /// `B̄(center, radius)`.
     pub fn inside_ball(&self, center: &[f64], radius: f64) -> bool {
-        max_dist_sq_to_rect(center, &self.lo, &self.hi) < radius * radius
+        max_dist_sq_to_rect(center, &self.lo, &self.hi) <= radius * radius
     }
 
     /// The smallest rectangle covering both `self` and `other`.
@@ -222,9 +224,12 @@ mod tests {
         let r = unit();
         assert!(r.intersects_ball(&[0.5, 0.5], 0.1));
         assert!(r.intersects_ball(&[2.0, 0.5], 1.1));
-        assert!(!r.intersects_ball(&[2.0, 0.5], 1.0)); // open ball, touching is outside
+        assert!(r.intersects_ball(&[2.0, 0.5], 1.0)); // closed ball: touching intersects
+        assert!(!r.intersects_ball(&[2.0, 0.5], 0.99));
         assert!(r.inside_ball(&[0.5, 0.5], 1.0));
         assert!(!r.inside_ball(&[0.5, 0.5], 0.7));
+        // The far corner at distance exactly √0.5 is inside the closed ball.
+        assert!(r.inside_ball(&[0.5, 0.5], 0.5f64.sqrt()));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   `packed[offsets[c]..offsets[c + 1]]`, ascending point id. Cell iteration
 //!   reads one contiguous strip — no per-cell `Vec`, no per-cell heap
 //!   allocation after the build.
+//! * **Packed coordinate rows.** The coordinates of `packed` are copied into a
+//!   matching row-major buffer (exactly like the kd-tree's leaf buckets), so a
+//!   distance scan over a cell ([`Grid::coords`], [`Grid::count_within_cell`])
+//!   reads one contiguous strip and can go through the batched — optionally
+//!   SIMD — kernels of `dpc_geometry::batch`.
 //! * **Interned keys.** Integer cell keys live in one flat `i64` buffer (`dim`
 //!   values per cell, cell-id order) instead of one boxed slice per cell.
 //! * **Open-addressing key table.** Key → cell-id probes go through a small
@@ -54,6 +59,9 @@ pub struct Grid {
     offsets: Vec<usize>,
     /// Point identifiers grouped by cell, ascending within each cell.
     packed: Vec<usize>,
+    /// Coordinates of `packed` in the same order, row-major (`dim` values per
+    /// point): cell `c`'s rows are `coord_rows[offsets[c]·dim..offsets[c+1]·dim]`.
+    coord_rows: Vec<f64>,
     /// Linear-probing key table: each slot holds a cell id or [`EMPTY`].
     /// Power-of-two length, load factor ≤ 3/4.
     table: Vec<u32>,
@@ -95,6 +103,7 @@ impl Grid {
             keys: Vec::new(),
             offsets: Vec::new(),
             packed: Vec::new(),
+            coord_rows: Vec::new(),
             table: Vec::new(),
             point_cell: Vec::with_capacity(n),
         };
@@ -129,12 +138,16 @@ impl Grid {
         }
         let mut cursor: Vec<usize> = offsets[..counts.len()].to_vec();
         let mut packed = vec![0usize; n];
+        let mut coord_rows = vec![0.0f64; n * dim];
         for (p, &c) in grid.point_cell.iter().enumerate() {
-            packed[cursor[c]] = p;
+            let slot = cursor[c];
+            packed[slot] = p;
+            coord_rows[slot * dim..(slot + 1) * dim].copy_from_slice(data.point(p));
             cursor[c] += 1;
         }
         grid.offsets = offsets;
         grid.packed = packed;
+        grid.coord_rows = coord_rows;
         grid
     }
 
@@ -264,6 +277,24 @@ impl Grid {
         &self.packed[self.offsets[cell]..self.offsets[cell + 1]]
     }
 
+    /// Row-major coordinates of [`Grid::points`]`(cell)`, in the same order —
+    /// one contiguous strip, ready for the batched kernels of
+    /// `dpc_geometry::batch`.
+    pub fn coords(&self, cell: CellId) -> &[f64] {
+        &self.coord_rows[self.offsets[cell] * self.dim..self.offsets[cell + 1] * self.dim]
+    }
+
+    /// Number of points of cell `cell` within the **closed** ball of `radius`
+    /// around `query` (`dist ≤ radius`, Definition 1 semantics), scanned over
+    /// the cell's contiguous coordinate rows with the batch kernel. A negative
+    /// or NaN radius counts nothing.
+    pub fn count_within_cell(&self, cell: CellId, query: &[f64], radius: f64) -> usize {
+        if radius.is_nan() || radius < 0.0 {
+            return 0;
+        }
+        dpc_geometry::batch::count_within(query, self.coords(cell), self.dim, radius * radius)
+    }
+
     /// Integer key of cell `cell` — a slice of the interned flat key buffer.
     pub fn key(&self, cell: CellId) -> &[i64] {
         assert!(cell < self.num_cells(), "cell id {cell} out of range");
@@ -332,6 +363,7 @@ impl Grid {
         self.keys.capacity() * std::mem::size_of::<i64>()
             + self.offsets.capacity() * std::mem::size_of::<usize>()
             + self.packed.capacity() * std::mem::size_of::<usize>()
+            + self.coord_rows.capacity() * std::mem::size_of::<f64>()
             + self.table.capacity() * std::mem::size_of::<u32>()
             + self.point_cell.capacity() * std::mem::size_of::<CellId>()
             + self.origin.capacity() * std::mem::size_of::<f64>()
@@ -517,6 +549,41 @@ mod tests {
         assert!(seen.into_iter().all(|s| s));
         // The interned key buffer holds exactly one key per cell.
         assert_eq!(grid.keys.len(), grid.num_cells() * grid.dim());
+    }
+
+    #[test]
+    fn coord_rows_match_packed_points() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ds = Dataset::new(3);
+        for _ in 0..400 {
+            ds.push(&[
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(0.0..40.0),
+            ]);
+        }
+        let grid = Grid::build(&ds, 6.0);
+        for c in grid.cell_ids() {
+            let pts = grid.points(c);
+            let rows = grid.coords(c);
+            assert_eq!(rows.len(), pts.len() * grid.dim());
+            for (k, &p) in pts.iter().enumerate() {
+                assert_eq!(&rows[k * 3..(k + 1) * 3], ds.point(p));
+            }
+        }
+    }
+
+    #[test]
+    fn count_within_cell_is_inclusive_at_the_boundary() {
+        // One cell holding the origin, a 3-4-5 boundary point, and a far point.
+        let ds = Dataset::from_flat(2, vec![0.0, 0.0, 3.0, 4.0, 9.0, 9.0]);
+        let grid = Grid::build(&ds, 100.0);
+        assert_eq!(grid.num_cells(), 1);
+        assert_eq!(grid.count_within_cell(0, &[0.0, 0.0], 5.0), 2);
+        assert_eq!(grid.count_within_cell(0, &[0.0, 0.0], 5.0 - 1e-9), 1);
+        assert_eq!(grid.count_within_cell(0, &[0.0, 0.0], 0.0), 1);
+        assert_eq!(grid.count_within_cell(0, &[0.0, 0.0], -1.0), 0);
+        assert_eq!(grid.count_within_cell(0, &[0.0, 0.0], f64::NAN), 0);
     }
 
     #[test]

@@ -128,11 +128,11 @@ impl<'a> IncrementalKdTree<'a> {
         }
     }
 
-    /// Counts points whose distance to `query` is strictly less than `radius`,
-    /// **excluding** the point whose identifier equals `exclude` (pass `None`
-    /// to count every point).
+    /// Counts points whose distance to `query` is **at most** `radius`
+    /// (closed ball, Definition 1), **excluding** the point whose identifier
+    /// equals `exclude` (pass `None` to count every point).
     pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
-        if self.root == NONE || radius <= 0.0 {
+        if self.root == NONE || radius.is_nan() || radius < 0.0 {
             return 0;
         }
         let mut count = 0usize;
@@ -153,25 +153,26 @@ impl<'a> IncrementalKdTree<'a> {
     ) {
         let node = &self.nodes[node_idx as usize];
         let coords = self.data.point(node.id as usize);
-        if node.id != exclude && dist_sq(query, coords) < r_sq {
+        if node.id != exclude && dist_sq(query, coords) <= r_sq {
             *count += 1;
         }
         let axis = node.axis as usize;
         let diff = query[axis] - coords[axis];
         // The near side always has to be visited; the far side only when the
-        // splitting plane is within `radius` of the query.
+        // splitting plane is within `radius` of the query (inclusive: a point
+        // on the plane can be at distance exactly `radius`).
         let (near, far) =
             if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.range_count_rec(near, query, radius, r_sq, exclude, count);
         }
-        if far != NONE && diff.abs() < radius {
+        if far != NONE && diff.abs() <= radius {
             self.range_count_rec(far, query, radius, r_sq, exclude, count);
         }
     }
 
-    /// Collects the identifiers of points whose distance to `query` is strictly
-    /// less than `radius`.
+    /// Collects the identifiers of points whose distance to `query` is at
+    /// most `radius` (closed ball).
     pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         self.range_search_into(query, radius, &mut out);
@@ -182,7 +183,7 @@ impl<'a> IncrementalKdTree<'a> {
     /// caller-provided buffer.
     pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
         out.clear();
-        if self.root == NONE || radius <= 0.0 {
+        if self.root == NONE || radius.is_nan() || radius < 0.0 {
             return;
         }
         let r_sq = radius * radius;
@@ -199,7 +200,7 @@ impl<'a> IncrementalKdTree<'a> {
     ) {
         let node = &self.nodes[node_idx as usize];
         let coords = self.data.point(node.id as usize);
-        if dist_sq(query, coords) < r_sq {
+        if dist_sq(query, coords) <= r_sq {
             out.push(node.id as usize);
         }
         let axis = node.axis as usize;
@@ -209,7 +210,7 @@ impl<'a> IncrementalKdTree<'a> {
         if near != NONE {
             self.range_search_rec(near, query, radius, r_sq, out);
         }
-        if far != NONE && diff.abs() < radius {
+        if far != NONE && diff.abs() <= radius {
             self.range_search_rec(far, query, radius, r_sq, out);
         }
     }

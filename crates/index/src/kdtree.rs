@@ -21,12 +21,17 @@
 //!   otherwise descend (scanning the bucket when the node is a leaf). The
 //!   fully-inside case is what a counting query admits over a reporting one,
 //!   and on clustered data it removes most leaf scans.
+//! * **Closed-ball semantics.** All range queries use the paper's Definition 1
+//!   predicate `dist ≤ radius` (see the `dpc_geometry` crate docs): a point at
+//!   distance exactly `d_cut` counts, and the pruning tests are aligned with
+//!   that (`min_dist > r²` skips, `max_dist ≤ r²` takes the whole subtree).
 //! * **Allocation-free queries.** Traversal uses a fixed-size explicit stack
 //!   (the tree is balanced, so its depth is at most `⌈log₂(n / LEAF_BUCKET)⌉ +
 //!   1 < 32` for any `n` addressable by `u32`), and reporting queries append
 //!   into a caller-reusable buffer via [`KdTree::range_search_into`]. Leaf
-//!   scans dispatch to the unrolled `d = 2` / `d = 3` distance kernels of
-//!   `dpc_geometry`.
+//!   scans go through the batched kernels of `dpc_geometry::batch` — one query
+//!   against the bucket's contiguous rows — which are SIMD-accelerated when
+//!   the `simd` feature of `dpc-geometry` is enabled.
 //!
 //! The index stores `O(n)` identifiers plus `O(n·d)` packed coordinates and
 //! `O(n/LEAF_BUCKET)` nodes — `O(n)` space for fixed `d`, as the paper's space
@@ -47,9 +52,8 @@
 //! [`IncrementalKdTree`](crate::IncrementalKdTree) arena tree; keeping mutation
 //! out of this type is what allows the packed layout.
 
-use dpc_geometry::distance::{
-    dist_sq, dist_sq_2, dist_sq_3, max_dist_sq_to_rect, min_dist_sq_to_rect,
-};
+use dpc_geometry::batch;
+use dpc_geometry::distance::{dist_sq, max_dist_sq_to_rect, min_dist_sq_to_rect};
 use dpc_geometry::Dataset;
 use dpc_parallel::Executor;
 
@@ -198,34 +202,39 @@ impl<'a> KdTree<'a> {
         b.split_at(self.dim)
     }
 
-    /// Whether the excluded point (by identifier) lies in packed positions
-    /// `start..end`. `O(1)` on full trees; subset trees fall back to scanning
-    /// the range (the exclude path is unused on subset trees in practice).
+    /// Packed position of the excluded point (by identifier) if it lies in
+    /// positions `start..end`. `O(1)` on full trees; subset trees fall back to
+    /// scanning the range (the exclude path is unused on subset trees in
+    /// practice).
     #[inline]
-    fn excluded_in_range(&self, start: usize, end: usize, excl_id: u32) -> bool {
+    fn excluded_row(&self, start: usize, end: usize, excl_id: u32) -> Option<usize> {
         if excl_id == NONE {
-            return false;
+            return None;
         }
         match &self.pos {
             Some(pos) => match pos.get(excl_id as usize) {
-                Some(&p) => p != NONE && (p as usize) >= start && (p as usize) < end,
-                None => false,
+                Some(&p) if p != NONE && (p as usize) >= start && (p as usize) < end => {
+                    Some(p as usize)
+                }
+                _ => None,
             },
-            None => self.ids[start..end].contains(&excl_id),
+            None => self.ids[start..end].iter().position(|&id| id == excl_id).map(|k| start + k),
         }
     }
 
-    /// Counts points whose distance to `query` is strictly less than `radius`,
-    /// **excluding** the point whose identifier equals `exclude` (pass `None`
-    /// to count every point).
+    /// Counts points whose distance to `query` is **at most** `radius` (closed
+    /// ball, Definition 1), **excluding** the point whose identifier equals
+    /// `exclude` (pass `None` to count every point).
     ///
-    /// This is the local-density primitive (Definition 1): Ex-DPC calls it once
-    /// per point with `exclude = Some(i)` so that a point does not count itself.
+    /// This is the local-density primitive: Ex-DPC calls it once per point with
+    /// `exclude = Some(i)` so that a point does not count itself. A negative or
+    /// NaN radius counts nothing; radius `0` counts exact duplicates.
     pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
-        if self.ids.is_empty() || radius <= 0.0 {
+        if self.ids.is_empty() || radius.is_nan() || radius < 0.0 {
             return 0;
         }
         let r_sq = radius * radius;
+        let dim = self.dim;
         let excl = exclude.map(|e| e as u32).unwrap_or(NONE);
         let mut count = 0usize;
         let mut stack = [0u32; STACK_CAP];
@@ -235,20 +244,27 @@ impl<'a> KdTree<'a> {
             top -= 1;
             let node_idx = stack[top] as usize;
             let (lo, hi) = self.node_bounds(node_idx);
-            if min_dist_sq_to_rect(query, lo, hi) >= r_sq {
+            if min_dist_sq_to_rect(query, lo, hi) > r_sq {
                 continue; // box fully outside the ball
             }
             let node = &self.nodes[node_idx];
             let (start, end) = (node.start as usize, node.end as usize);
-            if max_dist_sq_to_rect(query, lo, hi) < r_sq {
+            if max_dist_sq_to_rect(query, lo, hi) <= r_sq {
                 // Box fully inside the ball: the whole subtree contributes its
                 // size without a single point visit (subtree-count pruning).
                 count += end - start;
-                if self.excluded_in_range(start, end, excl) {
+                if self.excluded_row(start, end, excl).is_some() {
                     count -= 1;
                 }
             } else if node.right == NONE {
-                count += self.count_leaf(start, end, query, r_sq, excl);
+                let rows = &self.coords[start * dim..end * dim];
+                count += batch::count_within(query, rows, dim, r_sq);
+                if let Some(p) = self.excluded_row(start, end, excl) {
+                    let row = &self.coords[p * dim..(p + 1) * dim];
+                    if dist_sq(query, row) <= r_sq {
+                        count -= 1;
+                    }
+                }
             } else {
                 stack[top] = node_idx as u32 + 1;
                 stack[top + 1] = node.right;
@@ -258,42 +274,10 @@ impl<'a> KdTree<'a> {
         count
     }
 
-    /// Linear scan of the packed bucket `start..end`, dispatched per
-    /// dimensionality so the common `d = 2` / `d = 3` loops are fully unrolled.
-    #[inline]
-    fn count_leaf(&self, start: usize, end: usize, query: &[f64], r_sq: f64, excl: u32) -> usize {
-        let dim = self.dim;
-        let rows = &self.coords[start * dim..end * dim];
-        let mut c = 0usize;
-        match dim {
-            2 => {
-                for (k, row) in rows.chunks_exact(2).enumerate() {
-                    if dist_sq_2(query, row) < r_sq && self.ids[start + k] != excl {
-                        c += 1;
-                    }
-                }
-            }
-            3 => {
-                for (k, row) in rows.chunks_exact(3).enumerate() {
-                    if dist_sq_3(query, row) < r_sq && self.ids[start + k] != excl {
-                        c += 1;
-                    }
-                }
-            }
-            _ => {
-                for (k, row) in rows.chunks_exact(dim).enumerate() {
-                    if dist_sq(query, row) < r_sq && self.ids[start + k] != excl {
-                        c += 1;
-                    }
-                }
-            }
-        }
-        c
-    }
-
-    /// Collects the identifiers of points whose distance to `query` is strictly
-    /// less than `radius`. The query point itself (if it is indexed) is included
-    /// because its distance is zero; callers that need to exclude it filter by id.
+    /// Collects the identifiers of points whose distance to `query` is at most
+    /// `radius` (closed ball). The query point itself (if it is indexed) is
+    /// included because its distance is zero; callers that need to exclude it
+    /// filter by id.
     pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         self.range_search_into(query, radius, &mut out);
@@ -307,7 +291,7 @@ impl<'a> KdTree<'a> {
     /// Result order follows the packed layout, not point-identifier order.
     pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
         out.clear();
-        if self.ids.is_empty() || radius <= 0.0 {
+        if self.ids.is_empty() || radius.is_nan() || radius < 0.0 {
             return;
         }
         let r_sq = radius * radius;
@@ -319,20 +303,22 @@ impl<'a> KdTree<'a> {
             top -= 1;
             let node_idx = stack[top] as usize;
             let (lo, hi) = self.node_bounds(node_idx);
-            if min_dist_sq_to_rect(query, lo, hi) >= r_sq {
+            if min_dist_sq_to_rect(query, lo, hi) > r_sq {
                 continue;
             }
             let node = &self.nodes[node_idx];
             let (start, end) = (node.start as usize, node.end as usize);
-            if max_dist_sq_to_rect(query, lo, hi) < r_sq {
+            if max_dist_sq_to_rect(query, lo, hi) <= r_sq {
                 // Whole subtree inside: report every id without distance checks.
                 out.extend(self.ids[start..end].iter().map(|&id| id as usize));
             } else if node.right == NONE {
                 let rows = &self.coords[start * dim..end * dim];
-                for (k, row) in rows.chunks_exact(dim).enumerate() {
-                    if dist_sq(query, row) < r_sq {
-                        out.push(self.ids[start + k] as usize);
-                    }
+                // The batch kernel appends bucket-local row indices; remap
+                // them to point identifiers in place.
+                let base = out.len();
+                batch::search_within_into(query, rows, dim, r_sq, out);
+                for v in &mut out[base..] {
+                    *v = self.ids[start + *v] as usize;
                 }
             } else {
                 stack[top] = node_idx as u32 + 1;
@@ -371,11 +357,8 @@ impl<'a> KdTree<'a> {
             if node.right == NONE {
                 let (start, end) = (node.start as usize, node.end as usize);
                 let rows = &self.coords[start * dim..end * dim];
-                for (k, row) in rows.chunks_exact(dim).enumerate() {
-                    if self.ids[start + k] == excl {
-                        continue;
-                    }
-                    let d = dist_sq(query, row);
+                let skip = self.excluded_row(start, end, excl).map(|p| p - start);
+                if let Some((k, d)) = batch::nearest_in_bucket(query, rows, dim, skip) {
                     if d < best_d {
                         best_d = d;
                         best_id = self.ids[start + k];
@@ -692,18 +675,45 @@ mod tests {
             let mut got = tree.range_search(&q, r);
             got.sort_unstable();
             let mut want: Vec<usize> =
-                ds.iter().filter(|(_, p)| dist(&q, p) < r).map(|(id, _)| id).collect();
+                ds.iter().filter(|(_, p)| dist(&q, p) <= r).map(|(id, _)| id).collect();
             want.sort_unstable();
             assert_eq!(got, want);
         }
     }
 
     #[test]
-    fn zero_radius_returns_nothing() {
+    fn zero_radius_matches_exact_duplicates_only() {
+        // Closed-ball semantics: radius 0 finds coincident points, nothing else.
         let ds = random_dataset(50, 2, 5);
         let tree = KdTree::build(&ds);
-        assert_eq!(tree.range_count(ds.point(0), 0.0, None), 0);
-        assert!(tree.range_search(ds.point(0), 0.0).is_empty());
+        assert_eq!(tree.range_count(ds.point(0), 0.0, None), 1);
+        assert_eq!(tree.range_count(ds.point(0), 0.0, Some(0)), 0);
+        assert_eq!(tree.range_search(ds.point(0), 0.0), vec![0]);
+        // Negative and NaN radii find nothing.
+        assert_eq!(tree.range_count(ds.point(0), -1.0, None), 0);
+        assert_eq!(tree.range_count(ds.point(0), f64::NAN, None), 0);
+        assert!(tree.range_search(ds.point(0), -1.0).is_empty());
+    }
+
+    #[test]
+    fn points_exactly_at_the_radius_are_counted() {
+        // Definition 1 is a closed ball: a point at distance exactly d_cut
+        // counts. The 3-4-5 triangle keeps every distance exact in f64.
+        let ds = Dataset::from_flat(
+            2,
+            vec![0.0, 0.0, 3.0, 4.0, -3.0, 4.0, 4.0, 3.0, 5.0, 0.0, 3.0, 4.0000001, 6.0, 0.0],
+        );
+        let tree = KdTree::build(&ds);
+        // Points 1..=4 are at distance exactly 5 from the origin.
+        assert_eq!(tree.range_count(&[0.0, 0.0], 5.0, None), 5);
+        assert_eq!(tree.range_count(&[0.0, 0.0], 5.0, Some(0)), 4);
+        let mut found = tree.range_search(&[0.0, 0.0], 5.0);
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            tree.range_count(&[0.0, 0.0], 5.0, None),
+            brute_range_count(&ds, &[0.0, 0.0], 5.0, None)
+        );
     }
 
     #[test]
@@ -749,7 +759,7 @@ mod tests {
         let sub = ds.select(&ids);
         for id in ids.iter().take(10) {
             let q = ds.point(*id);
-            let want = sub.iter().filter(|(_, p)| dist(q, p) < 20.0).count();
+            let want = sub.iter().filter(|(_, p)| dist(q, p) <= 20.0).count();
             assert_eq!(tree.range_count(q, 20.0, None), want);
             assert_eq!(tree.range_count(q, 20.0, Some(*id)), want - 1);
         }
@@ -821,7 +831,7 @@ mod tests {
         let mut got = buf.clone();
         got.sort_unstable();
         let mut want: Vec<usize> =
-            ds.iter().filter(|(_, p)| dist(&[50.0, 50.0], p) < 25.0).map(|(id, _)| id).collect();
+            ds.iter().filter(|(_, p)| dist(&[50.0, 50.0], p) <= 25.0).map(|(id, _)| id).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }

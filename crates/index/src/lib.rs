@@ -43,9 +43,9 @@ pub(crate) mod test_util {
         Dataset::from_flat(dim, coords)
     }
 
-    /// `O(n)` reference range count with optional exclusion.
+    /// `O(n)` reference range count (closed ball) with optional exclusion.
     pub fn brute_range_count(ds: &Dataset, q: &[f64], r: f64, exclude: Option<usize>) -> usize {
-        ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(q, p) < r).count()
+        ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(q, p) <= r).count()
     }
 
     /// `O(n)` reference nearest neighbour with optional exclusion.

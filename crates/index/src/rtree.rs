@@ -119,11 +119,12 @@ impl<'a> RTree<'a> {
         level[0]
     }
 
-    /// Counts points with distance strictly less than `radius` from `query`,
-    /// excluding the point with identifier `exclude` (if any).
+    /// Counts points with distance **at most** `radius` from `query` (closed
+    /// ball, Definition 1), excluding the point with identifier `exclude` (if
+    /// any). A negative or NaN radius counts nothing.
     pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
         let Some(root) = self.root else { return 0 };
-        if radius <= 0.0 {
+        if radius.is_nan() || radius < 0.0 {
             return 0;
         }
         let excl = exclude.map(|e| e as u32).unwrap_or(u32::MAX);
@@ -161,7 +162,7 @@ impl<'a> RTree<'a> {
         match &node.kind {
             NodeKind::Leaf(ids) => {
                 for &id in ids {
-                    if id != exclude && dist_sq(query, self.data.point(id as usize)) < r_sq {
+                    if id != exclude && dist_sq(query, self.data.point(id as usize)) <= r_sq {
                         *count += 1;
                     }
                 }
@@ -174,12 +175,12 @@ impl<'a> RTree<'a> {
         }
     }
 
-    /// Collects identifiers of points with distance strictly less than `radius`
-    /// from `query`.
+    /// Collects identifiers of points with distance at most `radius` from
+    /// `query` (closed ball).
     pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         let Some(root) = self.root else { return out };
-        if radius <= 0.0 {
+        if radius.is_nan() || radius < 0.0 {
             return out;
         }
         self.search_rec(root, query, radius, radius * radius, &mut out);
@@ -201,7 +202,7 @@ impl<'a> RTree<'a> {
         match &node.kind {
             NodeKind::Leaf(ids) => {
                 for &id in ids {
-                    if dist_sq(query, self.data.point(id as usize)) < r_sq {
+                    if dist_sq(query, self.data.point(id as usize)) <= r_sq {
                         out.push(id as usize);
                     }
                 }
@@ -266,7 +267,7 @@ mod tests {
             for _ in 0..40 {
                 let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect();
                 let r = rng.gen_range(1.0..60.0);
-                let want = ds.iter().filter(|(_, p)| dist(&q, p) < r).count();
+                let want = ds.iter().filter(|(_, p)| dist(&q, p) <= r).count();
                 assert_eq!(tree.range_count(&q, r, None), want);
             }
         }
@@ -278,7 +279,7 @@ mod tests {
         let tree = RTree::build(&ds);
         for id in (0..300).step_by(37) {
             let q = ds.point(id).to_vec();
-            let want = ds.iter().filter(|(j, p)| *j != id && dist(&q, p) < 20.0).count();
+            let want = ds.iter().filter(|(j, p)| *j != id && dist(&q, p) <= 20.0).count();
             assert_eq!(tree.range_count(&q, 20.0, Some(id)), want);
         }
     }
@@ -294,7 +295,7 @@ mod tests {
             let mut got = tree.range_search(&q, r);
             got.sort_unstable();
             let mut want: Vec<usize> =
-                ds.iter().filter(|(_, p)| dist(&q, p) < r).map(|(id, _)| id).collect();
+                ds.iter().filter(|(_, p)| dist(&q, p) <= r).map(|(id, _)| id).collect();
             want.sort_unstable();
             assert_eq!(got, want);
         }
@@ -306,6 +307,17 @@ mod tests {
         let tree = RTree::build(&ds);
         assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, None), 256);
         assert_eq!(tree.range_count(&[50.0, 50.0], 1e6, Some(3)), 255);
+    }
+
+    #[test]
+    fn points_exactly_at_the_radius_are_counted() {
+        let ds = Dataset::from_flat(2, vec![0.0, 0.0, 3.0, 4.0, -3.0, 4.0, 6.0, 0.0]);
+        let tree = RTree::build(&ds);
+        assert_eq!(tree.range_count(&[0.0, 0.0], 5.0, None), 3);
+        assert_eq!(tree.range_count(&[0.0, 0.0], 5.0, Some(0)), 2);
+        let mut found = tree.range_search(&[0.0, 0.0], 5.0);
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1, 2]);
     }
 
     #[test]

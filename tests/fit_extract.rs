@@ -134,6 +134,55 @@ fn error_empty_dataset() {
     assert!(err.to_string().contains("empty"));
 }
 
+/// Every algorithm with a fit path, including the baselines.
+fn all_algorithms(params: DpcParams) -> Vec<Box<dyn DpcAlgorithm>> {
+    vec![
+        Box::new(ExDpc::new(params)),
+        Box::new(ApproxDpc::new(params)),
+        Box::new(SApproxDpc::new(params).with_epsilon(0.5)),
+        Box::new(Scan::new(params)),
+        Box::new(RtreeScan::new(params)),
+        Box::new(CfsfdpA::new(params)),
+        Box::new(LshDdp::new(params)),
+    ]
+}
+
+#[test]
+fn error_non_finite_coordinate_on_every_fit_path() {
+    // A NaN/±∞ coordinate must be rejected up front by every algorithm —
+    // silently mispruned densities are the failure mode this guards against.
+    let params = DpcParams::new(2.0);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        // Point 3, axis 1 carries the offending value.
+        let mut coords = vec![0.0f64; 12 * 2];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = (i % 7) as f64;
+        }
+        coords[3 * 2 + 1] = bad;
+        let data = Dataset::from_flat(2, coords);
+        for algo in all_algorithms(params) {
+            let err = algo.fit(&data).unwrap_err();
+            assert_eq!(
+                err,
+                DpcError::NonFiniteCoordinate { point: 3, axis: 1 },
+                "{} accepted a {bad} coordinate",
+                algo.name()
+            );
+            let msg = err.to_string();
+            assert!(msg.contains('3') && msg.contains('1'), "{msg}");
+        }
+    }
+}
+
+#[test]
+fn finite_extreme_magnitudes_still_fit() {
+    // The non-finite check must not reject huge-but-finite coordinates.
+    let data = Dataset::from_flat(2, vec![0.0, 0.0, 1e300, -1e300, 1.0, 1.0, 2.0, 0.5]);
+    for algo in all_algorithms(DpcParams::new(2.0)) {
+        assert!(algo.fit(&data).is_ok(), "{} rejected finite input", algo.name());
+    }
+}
+
 #[test]
 fn error_dimension_mismatch() {
     use fast_dpc::core::Timings;
@@ -161,6 +210,7 @@ fn errors_are_values_not_panics() {
             DpcError::InvalidParams { .. } => "bad request: parameter",
             DpcError::InvalidThresholds { .. } => "bad request: threshold",
             DpcError::EmptyDataset => "bad request: no data",
+            DpcError::NonFiniteCoordinate { .. } => "bad request: corrupt coordinates",
             DpcError::DimensionMismatch { .. } => "internal: inconsistent arrays",
         }
     }
@@ -169,4 +219,7 @@ fn errors_are_values_not_panics() {
     assert_eq!(classify(&e), "bad request: no data");
     let e = Thresholds::new(-1.0, 1.0).unwrap_err();
     assert_eq!(classify(&e), "bad request: threshold");
+    let nan = Dataset::from_flat(2, vec![f64::NAN, 0.0]);
+    let e = ExDpc::new(DpcParams::new(1.0)).fit(&nan).unwrap_err();
+    assert_eq!(classify(&e), "bad request: corrupt coordinates");
 }

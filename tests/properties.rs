@@ -55,13 +55,13 @@ fn assert_packed_matches_naive(ds: &Dataset, rng: &mut StdRng, seed: u64) {
         let r = rng.gen_range(0.1..80.0);
         let exclude = if case % 2 == 0 { None } else { Some(rng.gen_range(0..ds.len())) };
         let want_count =
-            ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(&q, p) < r).count();
+            ds.iter().filter(|(id, p)| Some(*id) != exclude && dist(&q, p) <= r).count();
         assert_eq!(tree.range_count(&q, r, exclude), want_count, "seed {seed} case {case}");
 
         let mut got = tree.range_search(&q, r);
         got.sort_unstable();
         let mut want: Vec<usize> =
-            ds.iter().filter(|(_, p)| dist(&q, p) < r).map(|(id, _)| id).collect();
+            ds.iter().filter(|(_, p)| dist(&q, p) <= r).map(|(id, _)| id).collect();
         want.sort_unstable();
         assert_eq!(got, want, "seed {seed} case {case}");
 
@@ -284,12 +284,12 @@ fn kdtree_range_count_matches_brute_force() {
         let tree = KdTree::build(&ds);
         let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
         let radius = rng.gen_range(0.1..60.0);
-        let expected = ds.iter().filter(|(_, p)| dist(&q, p) < radius).count();
+        let expected = ds.iter().filter(|(_, p)| dist(&q, p) <= radius).count();
         assert_eq!(tree.range_count(&q, radius, None), expected, "seed {seed}");
         let mut found = tree.range_search(&q, radius);
         found.sort_unstable();
         let mut want: Vec<usize> =
-            ds.iter().filter(|(_, p)| dist(&q, p) < radius).map(|(i, _)| i).collect();
+            ds.iter().filter(|(_, p)| dist(&q, p) <= radius).map(|(i, _)| i).collect();
         want.sort_unstable();
         assert_eq!(found, want, "seed {seed}");
     }
