@@ -15,6 +15,7 @@
 //! `--check` (validate the emitted JSON and exit non-zero on schema drift).
 
 use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_bench::resolve_out_path;
 use dpc_bench::schema::{check_or_exit, required};
 use dpc_bench::{default_params, default_thresholds, Algo, BenchDataset};
 use dpc_index::KdTree;
@@ -42,7 +43,7 @@ fn kernel_label(name: &str) -> String {
 fn main() {
     let mut n = 100_000usize;
     let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let mut out = std::path::PathBuf::from("BENCH_e2e.json");
+    let mut out = resolve_out_path("BENCH_e2e.json");
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,7 +53,7 @@ fn main() {
                 threads =
                     args.next().expect("--threads requires a value").parse().expect("--threads <T>")
             }
-            "--out" => out = args.next().expect("--out requires a path").into(),
+            "--out" => out = resolve_out_path(&args.next().expect("--out requires a path")),
             "--check" => check = true,
             "--bench" => {} // appended by `cargo bench`
             other => panic!(

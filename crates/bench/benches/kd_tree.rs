@@ -19,6 +19,7 @@
 //! covering the generic kernel path.
 
 use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_bench::resolve_out_path;
 use dpc_bench::schema::{check_or_exit, required};
 use dpc_data::generators::{gaussian_blobs, uniform};
 use dpc_geometry::{batch, Dataset};
@@ -141,7 +142,7 @@ fn main() {
     let mut n = 100_000usize;
     let mut build_n = 1_000_000usize;
     let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let mut out = std::path::PathBuf::from("BENCH_kdtree.json");
+    let mut out = resolve_out_path("BENCH_kdtree.json");
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -161,7 +162,7 @@ fn main() {
                     .parse()
                     .expect("--threads <T>")
             }
-            "--out" => out = args.next().expect("--out requires a path").into(),
+            "--out" => out = resolve_out_path(&args.next().expect("--out requires a path")),
             "--check" => check = true,
             "--bench" => {} // appended by `cargo bench`
             other => panic!(

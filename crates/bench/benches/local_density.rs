@@ -16,6 +16,7 @@
 
 use dpc_baselines::{RtreeScan, Scan};
 use dpc_bench::micro::{bench_record, write_bench_json, BenchRecord};
+use dpc_bench::resolve_out_path;
 use dpc_bench::schema::{check_or_exit, required};
 use dpc_bench::{default_params, BenchDataset};
 use dpc_core::framework::jittered_density;
@@ -30,7 +31,7 @@ const SCAN_MAX_N: usize = 20_000;
 fn main() {
     let mut n = 100_000usize;
     let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let mut out = std::path::PathBuf::from("BENCH_local_density.json");
+    let mut out = resolve_out_path("BENCH_local_density.json");
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,7 +41,7 @@ fn main() {
                 threads =
                     args.next().expect("--threads requires a value").parse().expect("--threads <T>")
             }
-            "--out" => out = args.next().expect("--out requires a path").into(),
+            "--out" => out = resolve_out_path(&args.next().expect("--out requires a path")),
             "--check" => check = true,
             "--bench" => {} // appended by `cargo bench`
             other => panic!(

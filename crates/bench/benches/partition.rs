@@ -6,12 +6,17 @@ use dpc_bench::micro::bench;
 use dpc_bench::BenchDataset;
 use dpc_index::Grid;
 use dpc_parallel::partition::{lpt_partition, round_robin_partition};
+use dpc_parallel::Executor;
 
 fn main() {
     // Real per-cell costs from the Household surrogate grid — heavily skewed.
     let dataset = BenchDataset::real_datasets()[1];
     let data = dataset.generate(20_000);
-    let grid = Grid::build(&data, dataset.default_dcut() / (data.dim() as f64).sqrt());
+    let grid = Grid::build_parallel(
+        &data,
+        dataset.default_dcut() / (data.dim() as f64).sqrt(),
+        &Executor::default(),
+    );
     let costs: Vec<f64> = grid.cell_ids().map(|cell| grid.points(cell).len() as f64).collect();
     println!("partition ({} cells)", costs.len());
 

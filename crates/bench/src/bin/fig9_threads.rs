@@ -14,6 +14,7 @@ use dpc_bench::{
 };
 use dpc_index::Grid;
 use dpc_parallel::partition::{lpt_partition, round_robin_partition};
+use dpc_parallel::Executor;
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -46,7 +47,11 @@ fn main() {
         // Load-balance ablation: LPT (Approx-DPC) vs hash partitioning
         // (LSH-DDP style) over the per-cell range-search cost estimates.
         let params = default_params(&dataset, 1);
-        let grid = Grid::build(&data, params.dcut / (data.dim() as f64).sqrt());
+        let grid = Grid::build_parallel(
+            &data,
+            params.dcut / (data.dim() as f64).sqrt(),
+            &Executor::new(args.threads),
+        );
         let costs: Vec<f64> = grid.cell_ids().map(|c| grid.points(c).len() as f64).collect();
         println!("  load imbalance (max/mean cost per thread) over {} cells:", costs.len());
         print_row(&["threads".into(), "LPT".into(), "round-robin".into()], &[8, 8, 12]);

@@ -1,0 +1,60 @@
+//! Output-path resolution for the bench binaries.
+//!
+//! `cargo bench` (and `cargo test`) executables run with their *package
+//! directory* as the working directory — `crates/bench` here — so a relative
+//! `--out BENCH_foo.json` used to land inside `crates/bench` instead of next
+//! to the committed trajectory files at the repo root (the PR 4 footgun).
+//! [`resolve_out_path`] removes it: relative paths are anchored at the
+//! workspace root (known at compile time via `CARGO_MANIFEST_DIR`), absolute
+//! paths pass through untouched.
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root, i.e. `crates/bench/../..` of this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Resolves a `--out` argument: absolute paths are returned as given,
+/// relative paths are anchored at the workspace root rather than the process
+/// working directory (which `cargo bench` sets to `crates/bench`).
+pub fn resolve_out_path(out: &str) -> PathBuf {
+    let path = Path::new(out);
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        workspace_root().join(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_are_anchored_at_the_workspace_root() {
+        let resolved = resolve_out_path("BENCH_x.json");
+        assert_eq!(resolved, workspace_root().join("BENCH_x.json"));
+        // The anchor is the workspace root, not this crate's directory: the
+        // root carries the workspace manifest and the committed trajectory.
+        assert!(workspace_root().join("Cargo.toml").exists());
+        assert!(workspace_root().join("crates").join("bench").join("Cargo.toml").exists());
+        // Nested relative paths keep their structure under the root.
+        assert_eq!(resolve_out_path("sub/dir/B.json"), workspace_root().join("sub/dir/B.json"));
+    }
+
+    #[test]
+    fn absolute_paths_pass_through() {
+        let abs = std::env::temp_dir().join("BENCH_abs.json");
+        assert_eq!(resolve_out_path(abs.to_str().unwrap()), abs);
+    }
+
+    #[test]
+    fn resolved_path_is_independent_of_the_working_directory() {
+        // The whole point of the fix: the result must not mention the cwd
+        // unless the cwd happens to be the workspace root.
+        let resolved = resolve_out_path("BENCH_y.json");
+        assert!(resolved.is_absolute() || resolved.starts_with(workspace_root()));
+        assert!(resolved.ends_with("BENCH_y.json"));
+    }
+}

@@ -261,6 +261,15 @@ pub mod required {
         "batch_search_scalar_2d",
         "batch_search_simd_2d",
     ];
+    /// `BENCH_grid_build.json` (`benches/grid_build.rs`).
+    pub const GRID_BUILD: &[&str] = &[
+        "grid_build_serial",
+        "grid_build_parallel",
+        "grid_build_serial_blobs",
+        "grid_build_parallel_blobs",
+        "per_point_range_searches",
+        "joint_range_search_per_cell",
+    ];
     /// `BENCH_local_density.json` (`benches/local_density.rs`).
     pub const LOCAL_DENSITY: &[&str] =
         &["build", "build_parallel", "rtree", "exdpc_arena_kdtree", "exdpc_packed_kdtree"];
@@ -510,6 +519,7 @@ mod tests {
         let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         for (file, bench, kernels) in [
             ("BENCH_kdtree.json", "kd_tree", required::KD_TREE),
+            ("BENCH_grid_build.json", "grid_build", required::GRID_BUILD),
             ("BENCH_local_density.json", "local_density", required::LOCAL_DENSITY),
             ("BENCH_e2e.json", "end_to_end", required::END_TO_END),
         ] {
@@ -518,6 +528,77 @@ mod tests {
                 panic!("committed {file} violates the trajectory contract: {e}");
             }
         }
+    }
+
+    /// A valid single-kernel document, the base for the mutation tests below.
+    const VALID: &str = "{\"bench\": \"b\", \"results\": [{\"kernel\": \"k\", \"n\": 1, \"d\": 1, \"iters\": 1, \"min_secs\": 1.0, \"mean_secs\": 1.0}]}";
+
+    #[test]
+    fn rejects_malformed_json() {
+        // The validator gates CI, so outright parse failures must surface as
+        // errors (with a position), never as panics or false acceptance.
+        for (broken, why) in [
+            ("", "empty input"),
+            ("{\"bench\": \"b\" \"results\": []}", "missing colon separator"),
+            ("{\"bench\": \"b\",, \"results\": []}", "double comma"),
+            ("{\"bench\": \"b\"} trailing", "trailing content"),
+            ("{\"bench\": \"b\", \"results\": [{]}", "mismatched brackets"),
+            ("{\"bench\": \"b\", \"results\": [tru]}", "truncated literal"),
+            ("{\"bench\": \"b", "unterminated string"),
+            ("{\"bench\": \"b\\x\"}", "invalid escape"),
+            ("{\"bench\": \"b\\u12\"}", "truncated \\u escape"),
+            ("{\"bench\": \"b\\ud800\"}", "surrogate \\u escape"),
+            ("{\"bench\": \"b\u{1}\"}", "raw control byte in string"),
+            ("{\"bench\": -}", "bare minus sign"),
+            ("{\"bench\": 1e}", "truncated exponent"),
+        ] {
+            let err = validate_bench_json(broken, "b", &[]).unwrap_err();
+            assert!(err.contains("JSON parse error"), "{why}: unexpected error {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_value_types() {
+        for (mutation, why) in [
+            (VALID.replace("\"b\"", "17"), "bench as a number"),
+            (VALID.replace("\"kernel\": \"k\"", "\"kernel\": 3"), "kernel as a number"),
+            (VALID.replace("\"kernel\": \"k\"", "\"kernel\": null"), "kernel as null"),
+            (VALID.replace("\"n\": 1", "\"n\": \"1\""), "n as a string"),
+            (VALID.replace("\"n\": 1", "\"n\": true"), "n as a boolean"),
+            (VALID.replace("\"iters\": 1", "\"iters\": [1]"), "iters as an array"),
+            (VALID.replace("\"min_secs\": 1.0", "\"min_secs\": \"fast\""), "min_secs as a string"),
+            (VALID.replace("\"mean_secs\": 1.0", "\"mean_secs\": {}"), "mean_secs as an object"),
+            (VALID.replace("\"mean_secs\": 1.0", "\"mean_secs\": -1.0"), "negative seconds"),
+            (VALID.replace("\"mean_secs\": 1.0", "\"mean_secs\": 1e999"), "infinite seconds"),
+            (VALID.replace("\"n\": 1", "\"n\": 5000000000"), "n above u32::MAX"),
+            (VALID.replace("{\"kernel\"", "[\"kernel\"").replace("}]}", "]]}"), "result as array"),
+        ] {
+            assert!(validate_bench_json(&mutation, "b", &[]).is_err(), "accepted {why}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_kernels_and_empty_kernel_lists() {
+        // An empty results array is rejected even with nothing required …
+        let empty = "{\"bench\": \"b\", \"results\": []}";
+        assert!(validate_bench_json(empty, "b", &[]).unwrap_err().contains("must not be empty"));
+        // … and a required kernel can then never be satisfied.
+        assert!(validate_bench_json(empty, "b", &["k"]).is_err());
+        // Every required kernel is checked, not just the first.
+        let err = validate_bench_json(VALID, "b", &["k", "absent"]).unwrap_err();
+        assert!(err.contains("required kernel \"absent\""), "{err}");
+        // An empty required list accepts any schema-valid document.
+        assert!(validate_bench_json(VALID, "b", &[]).is_ok());
+        // Duplicate fields within one result are drift, not a silent override.
+        let dup_field = VALID.replace("\"n\": 1, \"d\": 1", "\"n\": 1, \"n\": 1");
+        assert!(validate_bench_json(&dup_field, "b", &[]).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn check_file_reports_unreadable_paths() {
+        let missing = std::env::temp_dir().join("dpc_schema_no_such_file.json");
+        let err = check_file(&missing, "b", &[]).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

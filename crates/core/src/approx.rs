@@ -86,7 +86,9 @@ impl ApproxDpc {
         let seed = self.params.jitter_seed;
         let tree = KdTree::build_parallel(data, executor);
         let side = dcut / (data.dim() as f64).sqrt();
-        let grid = Grid::build(data, side);
+        // Bit-identical to the serial build at every thread count, so the
+        // whole fit stays deterministic across --threads.
+        let grid = Grid::build_parallel(data, side, executor);
         let cells: Vec<usize> = grid.cell_ids().collect();
 
         // Phase 1: one range search per cell, partitioned by cost_range = |P(c)|.

@@ -103,7 +103,9 @@ impl DpcAlgorithm for SApproxDpc {
         let start = Instant::now();
         let tree = KdTree::build_parallel(data, &executor);
         let side = self.epsilon * dcut / (data.dim() as f64).sqrt();
-        let grid = Grid::build(data, side);
+        // Bit-identical to the serial build at every thread count, so the
+        // whole fit stays deterministic across --threads.
+        let grid = Grid::build_parallel(data, side, &executor);
         let cells: Vec<usize> = grid.cell_ids().collect();
 
         // One range search per cell for its (deterministically) picked point:

@@ -27,6 +27,18 @@
 //! * **Counting-sort build.** One pass assigns cell ids (in first-appearance
 //!   order) and counts members, a prefix sum turns counts into `offsets`, and
 //!   a stable scatter pass fills `packed`.
+//! * **Parallel construction.** [`Grid::build_parallel`] shards the
+//!   key-assignment pass over contiguous point ranges (one splitmix64
+//!   linear-probing table per shard), merges the shard tables into the global
+//!   cell-id assignment in global first-appearance order, and scatters the
+//!   CSR arrays in parallel per cell range. The **determinism contract**,
+//!   pinned by the grid layout-identity test suite: the result is
+//!   **byte-for-byte identical** to [`Grid::build`] — same interned key
+//!   buffer, key table, CSR `offsets`/packed ids/coordinate rows and
+//!   point→cell map, floats compared by bit pattern — at every thread count
+//!   ([`Grid::layout_eq`] is the bitwise comparison). Every caller (the
+//!   Approx-DPC and S-Approx-DPC fit paths) can therefore adopt the parallel
+//!   build with no behavioural change whatsoever.
 //!
 //! The grid stores the point membership of every cell and the reverse mapping
 //! from point id to cell id. Algorithm-specific per-cell metadata (the maximum
@@ -35,6 +47,7 @@
 //! known mid-run.
 
 use dpc_geometry::Dataset;
+use dpc_parallel::Executor;
 
 /// Identifier of a grid cell (dense index, `0..grid.num_cells()`).
 pub type CellId = usize;
@@ -44,6 +57,11 @@ pub type CellKey = Box<[i64]>;
 
 /// Empty slot marker of the open-addressing key table.
 const EMPTY: u32 = u32::MAX;
+
+/// Minimum dataset size before [`Grid::build_parallel`] shards the build:
+/// below this the scoped spawns cost more than the per-point hashing they
+/// hand out, so the build runs serially (bit-identical either way).
+const MIN_PARALLEL_POINTS: usize = 4096;
 
 /// A uniform grid over the points of a dataset.
 #[derive(Debug)]
@@ -83,20 +101,105 @@ fn hash_key(key: &[i64]) -> u64 {
     h
 }
 
+/// Computes the integer cell key of `coords` into a reused buffer.
+fn fill_key_into(coords: &[f64], origin: &[f64], side: f64, key: &mut Vec<i64>) {
+    debug_assert_eq!(coords.len(), origin.len());
+    key.clear();
+    key.extend(coords.iter().zip(origin.iter()).map(|(&c, &o)| ((c - o) / side).floor() as i64));
+}
+
+/// Looks `key` up in a linear-probing `table` whose slots index the flat
+/// interned `keys` buffer. Allocation-free.
+fn probe_table(keys: &[i64], table: &[u32], dim: usize, key: &[i64]) -> Option<usize> {
+    if table.is_empty() {
+        return None;
+    }
+    let mask = table.len() - 1;
+    let mut i = hash_key(key) as usize & mask;
+    loop {
+        let slot = table[i];
+        if slot == EMPTY {
+            return None;
+        }
+        let cid = slot as usize;
+        if &keys[cid * dim..(cid + 1) * dim] == key {
+            return Some(cid);
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// Appends `key` to the flat `keys` buffer as the next cell id and inserts it
+/// into `table`, growing (and rehashing from the interned keys) when the load
+/// factor would exceed 3/4. Returns the new id.
+///
+/// Every build path — the serial single pass, the shard-local tables of the
+/// parallel build, and its merge — interns through this one function, so the
+/// growth schedule (and with it the final table bytes) depends only on the
+/// sequence of interned keys, never on who interned them.
+fn intern_key(keys: &mut Vec<i64>, table: &mut Vec<u32>, dim: usize, key: &[i64]) -> usize {
+    let cid = keys.len() / dim;
+    keys.extend_from_slice(key);
+    if (cid + 1) * 4 > table.len() * 3 {
+        let capacity = (table.len() * 2).max(16);
+        let mask = capacity - 1;
+        let mut grown = vec![EMPTY; capacity];
+        for existing in 0..cid {
+            let mut i = hash_key(&keys[existing * dim..(existing + 1) * dim]) as usize & mask;
+            while grown[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            grown[i] = existing as u32;
+        }
+        *table = grown;
+    }
+    let mask = table.len() - 1;
+    let mut i = hash_key(key) as usize & mask;
+    while table[i] != EMPTY {
+        i = (i + 1) & mask;
+    }
+    table[i] = cid as u32;
+    cid
+}
+
+/// CSR offsets from per-cell counts: `counts.len() + 1` entries starting at 0.
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// One shard of the parallel key-assignment pass: the keys met in one
+/// contiguous point range, interned in shard-local first-appearance order.
+struct Shard {
+    /// Flat interned keys, `dim` values per local cell.
+    keys: Vec<i64>,
+    /// Members of each local cell within the shard's range.
+    counts: Vec<usize>,
+    /// Local cell id of every point of the range, in point order.
+    point_local: Vec<u32>,
+}
+
 impl Grid {
-    /// Builds the grid for `data` with the given cell side length.
+    /// Shared construction prologue: validates `side`, fixes the origin at the
+    /// dataset's bounding-box low corner, and returns a grid with empty
+    /// storage.
     ///
     /// # Panics
     /// Panics if `side` is not strictly positive and finite.
-    pub fn build(data: &Dataset, side: f64) -> Self {
+    fn empty_shell(data: &Dataset, side: f64) -> Self {
         assert!(side.is_finite() && side > 0.0, "cell side must be positive and finite");
         let dim = data.dim();
         let origin = match data.bounding_rect() {
             Some(rect) => rect.lo().to_vec(),
             None => vec![0.0; dim],
         };
-        let n = data.len();
-        let mut grid = Self {
+        Self {
             dim,
             side,
             origin,
@@ -105,8 +208,20 @@ impl Grid {
             packed: Vec::new(),
             coord_rows: Vec::new(),
             table: Vec::new(),
-            point_cell: Vec::with_capacity(n),
-        };
+            point_cell: Vec::new(),
+        }
+    }
+
+    /// Builds the grid for `data` with the given cell side length, serially.
+    /// This is the reference layout [`Grid::build_parallel`] reproduces
+    /// byte for byte.
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn build(data: &Dataset, side: f64) -> Self {
+        let mut grid = Self::empty_shell(data, side);
+        let (dim, n) = (grid.dim, data.len());
+        grid.point_cell.reserve_exact(n);
         // Pass 1: assign cell ids in first-appearance order, counting members.
         // The probe key is computed into one reused scratch buffer and only
         // interned (appended to the flat key buffer) when it names a brand-new
@@ -114,12 +229,11 @@ impl Grid {
         let mut counts: Vec<usize> = Vec::new();
         let mut scratch: Vec<i64> = Vec::with_capacity(dim);
         for (_, coords) in data.iter() {
-            grid.fill_key(coords, &mut scratch);
-            let cell_id = match grid.probe(&scratch) {
+            fill_key_into(coords, &grid.origin, grid.side, &mut scratch);
+            let cell_id = match probe_table(&grid.keys, &grid.table, dim, &scratch) {
                 Some(cid) => cid,
                 None => {
-                    let cid = counts.len();
-                    grid.intern(&scratch, cid);
+                    let cid = intern_key(&mut grid.keys, &mut grid.table, dim, &scratch);
                     counts.push(0);
                     cid
                 }
@@ -129,13 +243,7 @@ impl Grid {
         }
         // Pass 2: prefix-sum the counts into CSR offsets, then scatter the
         // point ids stably (ascending id within each cell).
-        let mut offsets = Vec::with_capacity(counts.len() + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
+        let offsets = prefix_sum(&counts);
         let mut cursor: Vec<usize> = offsets[..counts.len()].to_vec();
         let mut packed = vec![0usize; n];
         let mut coord_rows = vec![0.0f64; n * dim];
@@ -151,16 +259,160 @@ impl Grid {
         grid
     }
 
+    /// Builds the grid for `data` in parallel on the executor's workers:
+    /// the key-assignment pass is sharded over contiguous point ranges (one
+    /// local splitmix64 linear-probing table each), the shard tables are
+    /// merged into the global cell-id assignment in global first-appearance
+    /// order, and the counting-sort scatter runs in parallel per cell range.
+    ///
+    /// The result is **byte-for-byte identical** to [`Grid::build`] at every
+    /// thread count (see [`Grid::layout_eq`]):
+    ///
+    /// * walking the shards in point order and each shard's local cells in
+    ///   local first-appearance order visits every distinct key exactly in
+    ///   the order the serial single pass first meets it, so interning the
+    ///   merged keys through the shared intern routine reproduces the serial
+    ///   cell ids, flat key buffer and table bytes;
+    /// * a contiguous cell range owns a contiguous span of `packed`, and each
+    ///   scatter task fills its span by one pass over the point→cell map in
+    ///   ascending point order — the same stable order as the serial scatter.
+    ///
+    /// Datasets below a size threshold (or a single-threaded executor) take
+    /// the serial path directly with zero spawns.
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn build_parallel(data: &Dataset, side: f64, executor: &Executor) -> Self {
+        let n = data.len();
+        if executor.threads() == 1 || n < MIN_PARALLEL_POINTS {
+            return Self::build(data, side);
+        }
+        let mut grid = Self::empty_shell(data, side);
+        let dim = grid.dim;
+
+        // Pass 1 (parallel): shard the key assignment over contiguous point
+        // ranges; each shard resolves its points against its own local table.
+        let origin = &grid.origin;
+        let shards: Vec<Shard> = executor.map_chunks(n, |range| {
+            let mut keys: Vec<i64> = Vec::new();
+            let mut table: Vec<u32> = Vec::new();
+            let mut counts: Vec<usize> = Vec::new();
+            let mut point_local: Vec<u32> = Vec::with_capacity(range.len());
+            let mut scratch: Vec<i64> = Vec::with_capacity(dim);
+            for p in range {
+                fill_key_into(data.point(p), origin, side, &mut scratch);
+                let lid = match probe_table(&keys, &table, dim, &scratch) {
+                    Some(lid) => lid,
+                    None => {
+                        let lid = intern_key(&mut keys, &mut table, dim, &scratch);
+                        counts.push(0);
+                        lid
+                    }
+                };
+                counts[lid] += 1;
+                point_local.push(lid as u32);
+            }
+            Shard { keys, counts, point_local }
+        });
+
+        // Merge (serial, O(Σ distinct local cells) — #cells · #shards at
+        // worst, not O(n)): intern the shard keys into the global table in
+        // global first-appearance order and accumulate the global counts.
+        let mut counts: Vec<usize> = Vec::new();
+        let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+        for shard in &shards {
+            let mut map = Vec::with_capacity(shard.counts.len());
+            for (lid, &local_count) in shard.counts.iter().enumerate() {
+                let key = &shard.keys[lid * dim..(lid + 1) * dim];
+                let gid = match probe_table(&grid.keys, &grid.table, dim, key) {
+                    Some(gid) => gid,
+                    None => {
+                        let gid = intern_key(&mut grid.keys, &mut grid.table, dim, key);
+                        counts.push(0);
+                        gid
+                    }
+                };
+                counts[gid] += local_count;
+                map.push(gid as u32);
+            }
+            local_to_global.push(map);
+        }
+
+        // Point→cell map (parallel): translate each shard's local ids through
+        // its merge map into the shard's disjoint slice of the global array.
+        let mut point_cell = vec![0usize; n];
+        {
+            let mut tasks = Vec::with_capacity(shards.len());
+            let mut rest: &mut [usize] = &mut point_cell;
+            for (shard, map) in shards.iter().zip(&local_to_global) {
+                let (mine, tail) = rest.split_at_mut(shard.point_local.len());
+                rest = tail;
+                tasks.push(move || {
+                    for (dst, &lid) in mine.iter_mut().zip(&shard.point_local) {
+                        *dst = map[lid as usize] as usize;
+                    }
+                });
+            }
+            executor.fan_out(tasks);
+        }
+        grid.point_cell = point_cell;
+
+        // Pass 2 (parallel): prefix-sum offsets, then scatter per cell range.
+        // The packed span of a contiguous cell range is itself contiguous, so
+        // every task owns disjoint slices of `packed`/`coord_rows`; range
+        // boundaries are chosen on cell borders so the spans balance by
+        // point count.
+        let num_cells = counts.len();
+        let offsets = prefix_sum(&counts);
+        let mut packed = vec![0usize; n];
+        let mut coord_rows = vec![0.0f64; n * dim];
+        {
+            let workers = executor.threads().min(num_cells.max(1));
+            let mut bounds = Vec::with_capacity(workers + 1);
+            bounds.push(0usize);
+            for w in 1..workers {
+                let target = w * n / workers;
+                let cell = offsets.partition_point(|&o| o < target).min(num_cells);
+                bounds.push(cell.max(*bounds.last().unwrap()));
+            }
+            bounds.push(num_cells);
+            let point_cell = &grid.point_cell;
+            let mut tasks = Vec::with_capacity(workers);
+            let mut packed_rest: &mut [usize] = &mut packed;
+            let mut coord_rest: &mut [f64] = &mut coord_rows;
+            for w in 0..workers {
+                let (lo, hi) = (bounds[w], bounds[w + 1]);
+                let span = offsets[hi] - offsets[lo];
+                let (packed_mine, packed_tail) = packed_rest.split_at_mut(span);
+                packed_rest = packed_tail;
+                let (coords_mine, coords_tail) = coord_rest.split_at_mut(span * dim);
+                coord_rest = coords_tail;
+                let base = offsets[lo];
+                let mut cursor: Vec<usize> = offsets[lo..hi].to_vec();
+                tasks.push(move || {
+                    for (p, &c) in point_cell.iter().enumerate() {
+                        if c < lo || c >= hi {
+                            continue;
+                        }
+                        let slot = cursor[c - lo] - base;
+                        cursor[c - lo] += 1;
+                        packed_mine[slot] = p;
+                        coords_mine[slot * dim..(slot + 1) * dim].copy_from_slice(data.point(p));
+                    }
+                });
+            }
+            executor.fan_out(tasks);
+        }
+        grid.offsets = offsets;
+        grid.packed = packed;
+        grid.coord_rows = coord_rows;
+        grid
+    }
+
     /// Computes the integer cell key of `coords` into a reused buffer.
     fn fill_key(&self, coords: &[f64], key: &mut Vec<i64>) {
         debug_assert_eq!(coords.len(), self.dim);
-        key.clear();
-        key.extend(
-            coords
-                .iter()
-                .zip(self.origin.iter())
-                .map(|(&c, &o)| ((c - o) / self.side).floor() as i64),
-        );
+        fill_key_into(coords, &self.origin, self.side, key);
     }
 
     /// The interned key of cell `cid` (valid for any already-interned id).
@@ -171,48 +423,7 @@ impl Grid {
 
     /// Looks `key` up in the open-addressing table. Allocation-free.
     fn probe(&self, key: &[i64]) -> Option<CellId> {
-        if self.table.is_empty() {
-            return None;
-        }
-        let mask = self.table.len() - 1;
-        let mut i = hash_key(key) as usize & mask;
-        loop {
-            let slot = self.table[i];
-            if slot == EMPTY {
-                return None;
-            }
-            let cid = slot as usize;
-            if self.interned_key(cid) == key {
-                return Some(cid);
-            }
-            i = (i + 1) & mask;
-        }
-    }
-
-    /// Appends `key` to the flat key buffer as cell `cid` and inserts it into
-    /// the table, growing (and rehashing from the interned keys) when the load
-    /// factor would exceed 3/4.
-    fn intern(&mut self, key: &[i64], cid: usize) {
-        self.keys.extend_from_slice(key);
-        if (cid + 1) * 4 > self.table.len() * 3 {
-            let capacity = (self.table.len() * 2).max(16);
-            let mask = capacity - 1;
-            let mut table = vec![EMPTY; capacity];
-            for existing in 0..cid {
-                let mut i = hash_key(self.interned_key(existing)) as usize & mask;
-                while table[i] != EMPTY {
-                    i = (i + 1) & mask;
-                }
-                table[i] = existing as u32;
-            }
-            self.table = table;
-        }
-        let mask = self.table.len() - 1;
-        let mut i = hash_key(key) as usize & mask;
-        while self.table[i] != EMPTY {
-            i = (i + 1) & mask;
-        }
-        self.table[i] = cid as u32;
+        probe_table(&self.keys, &self.table, self.dim, key)
     }
 
     /// The integer cell key of an arbitrary coordinate (allocating convenience
@@ -354,6 +565,28 @@ impl Grid {
                 axis += 1;
             }
         }
+    }
+
+    /// Whether two grids have bit-identical layouts: same geometry (side and
+    /// origin compared by float bit pattern, so even a `-0.0` vs `0.0`
+    /// discrepancy fails), interned key buffer, key table, CSR
+    /// `offsets`/packed point ids/coordinate rows, and point→cell map. This
+    /// is the property [`Grid::build_parallel`] guarantees against
+    /// [`Grid::build`] at every thread count, and what the grid
+    /// layout-identity test suite asserts.
+    pub fn layout_eq(&self, other: &Self) -> bool {
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && std::iter::zip(a, b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.dim == other.dim
+            && self.side.to_bits() == other.side.to_bits()
+            && bits_eq(&self.origin, &other.origin)
+            && self.keys == other.keys
+            && self.table == other.table
+            && self.offsets == other.offsets
+            && self.packed == other.packed
+            && bits_eq(&self.coord_rows, &other.coord_rows)
+            && self.point_cell == other.point_cell
     }
 
     /// Approximate heap memory used by the grid, in bytes. Everything is flat:
@@ -624,6 +857,102 @@ mod tests {
         for id in 0..ds.len() {
             assert_eq!(grid.cell_of(id), id % 4);
         }
+    }
+
+    /// A dataset large enough to clear MIN_PARALLEL_POINTS, with `dim`
+    /// coordinates drawn uniformly from `[0, extent)`.
+    fn parallel_sized_dataset(n: usize, dim: usize, extent: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        let mut row = vec![0.0f64; dim];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = rng.gen_range(0.0..extent);
+            }
+            ds.push(&row);
+        }
+        ds
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        use dpc_parallel::Executor;
+        let sets = [
+            // Many cells, forked shards.
+            (parallel_sized_dataset(6_000, 2, 100.0, 3), 4.0),
+            // 3-d, odd size (uneven shard splits at every thread count).
+            (parallel_sized_dataset(5_003, 3, 80.0, 4), 7.5),
+            // Every point in one cell.
+            (parallel_sized_dataset(5_000, 2, 5.0, 5), 1_000.0),
+            // Below the parallel threshold: the serial fallback path.
+            (parallel_sized_dataset(500, 2, 100.0, 6), 4.0),
+        ];
+        for (i, (ds, side)) in sets.iter().enumerate() {
+            let serial = Grid::build(ds, *side);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let par = Grid::build_parallel(ds, *side, &Executor::new(threads));
+                assert!(par.layout_eq(&serial), "set {i}, threads {threads}");
+                assert!(serial.layout_eq(&par), "set {i}, threads {threads} (symmetric)");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_answers_lookups_identically() {
+        use dpc_parallel::Executor;
+        let ds = parallel_sized_dataset(8_000, 2, 200.0, 9);
+        let grid = Grid::build_parallel(&ds, 6.0, &Executor::new(4));
+        let reference = Grid::build(&ds, 6.0);
+        let mut scratch = Vec::new();
+        for (id, coords) in ds.iter() {
+            assert_eq!(grid.cell_of(id), reference.cell_of(id));
+            assert_eq!(grid.cell_at_scratch(coords, &mut scratch), Some(grid.cell_of(id)));
+        }
+        for c in grid.cell_ids() {
+            assert_eq!(grid.points(c), reference.points(c));
+            assert_eq!(grid.coords(c), reference.coords(c));
+            assert_eq!(grid.neighbors_within(c, 1), reference.neighbors_within(c, 1));
+        }
+    }
+
+    #[test]
+    fn layout_eq_detects_differences() {
+        // Mirrors kdtree.rs::layout_eq_detects_differences: a mutated layout
+        // in any array — keys, packed ids, coordinate rows, reverse map or
+        // geometry — must be detected.
+        let ds = parallel_sized_dataset(300, 2, 60.0, 11);
+        let grid = Grid::build(&ds, 4.0);
+        assert!(grid.layout_eq(&grid));
+
+        let other = Grid::build(&parallel_sized_dataset(300, 2, 60.0, 12), 4.0);
+        assert!(!grid.layout_eq(&other), "different dataset must differ");
+        let coarser = Grid::build(&ds, 9.0);
+        assert!(!grid.layout_eq(&coarser), "different side must differ");
+
+        let mut mutated = Grid::build(&ds, 4.0);
+        mutated.packed.swap(0, 1);
+        assert!(!grid.layout_eq(&mutated), "swapped packed ids must differ");
+
+        let mut mutated = Grid::build(&ds, 4.0);
+        mutated.coord_rows[0] = -mutated.coord_rows[0];
+        assert!(!grid.layout_eq(&mutated), "flipped coordinate bit must differ");
+
+        let mut mutated = Grid::build(&ds, 4.0);
+        mutated.keys[0] += 1;
+        assert!(!grid.layout_eq(&mutated), "mutated interned key must differ");
+
+        let mut mutated = Grid::build(&ds, 4.0);
+        let last = mutated.point_cell.len() - 1;
+        mutated.point_cell.swap(0, last);
+        assert!(!grid.layout_eq(&mutated), "permuted reverse map must differ");
+
+        // -0.0 vs 0.0 in the geometry is a bit difference, not an equality
+        // (the lattice dataset's origin is exactly 0.0).
+        let lattice = Grid::build(&square_dataset(), 10.0);
+        let mut mutated = Grid::build(&square_dataset(), 10.0);
+        mutated.origin[0] = -0.0;
+        assert_eq!(mutated.origin[0], lattice.origin[0]);
+        assert!(!lattice.layout_eq(&mutated), "-0.0 origin must differ bitwise");
     }
 
     #[test]

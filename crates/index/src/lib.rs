@@ -18,7 +18,9 @@
 //!   of the paper's evaluation (Table 6).
 //! * [`Grid`] — the uniform grid with cell side `d_cut/√d` (Approx-DPC) or
 //!   `ε·d_cut/√d` (S-Approx-DPC). Cells are created online, only for occupied
-//!   regions, exactly as §4.1 describes.
+//!   regions, exactly as §4.1 describes. Construction shards across worker
+//!   threads ([`Grid::build_parallel`]) with a byte-for-byte identical CSR
+//!   layout at every thread count (the [`Grid::layout_eq`] contract).
 
 pub mod grid;
 pub mod incremental;

@@ -96,6 +96,55 @@ impl Executor {
         }
     }
 
+    /// Runs every closure of `tasks` exactly once, fanning them out across the
+    /// executor's workers (a scoped fan-out / sharded-reduce primitive: the
+    /// caller pre-splits its output into disjoint `&mut` shards, moves one
+    /// shard into each task, and every task writes only what it owns).
+    ///
+    /// Tasks are assigned to workers in contiguous runs (worker `w` takes
+    /// tasks `w·⌈k/W⌉..`), so a caller that orders its tasks by expected cost
+    /// gets a static block schedule; the per-task work must therefore be
+    /// roughly balanced — which shard-sized decompositions are by
+    /// construction. On a single-threaded executor every task runs inline, in
+    /// index order, with no spawn and no synchronisation. Any panic inside a
+    /// task is re-raised on the calling thread with its original payload.
+    ///
+    /// Unlike [`Executor::map_chunks`], which hands out index *ranges* to a
+    /// shared `Fn`, this primitive takes owning `FnOnce` closures — the shape
+    /// needed when each task must capture a different mutable borrow (the
+    /// parallel CSR grid build in `dpc-index` scatters into per-cell-range
+    /// slices this way).
+    pub fn fan_out<F>(&self, mut tasks: Vec<F>)
+    where
+        F: FnOnce() + Send,
+    {
+        if self.threads == 1 || tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let workers = self.threads.min(tasks.len());
+        let run = tasks.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            while !tasks.is_empty() {
+                let take = run.min(tasks.len());
+                let bucket: Vec<F> = tasks.drain(..take).collect();
+                handles.push(scope.spawn(move || {
+                    for task in bucket {
+                        task();
+                    }
+                }));
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
     /// Runs `f(i)` for every `i in 0..n` with dynamic self-scheduling: idle
     /// workers repeatedly claim the next unprocessed index from a shared
     /// counter. Equivalent to `#pragma omp parallel for schedule(dynamic)`.
@@ -353,6 +402,60 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s));
         }
+    }
+
+    #[test]
+    fn fan_out_runs_every_task_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let ex = Executor::new(threads);
+            let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+            let tasks: Vec<_> = (0..37)
+                .map(|i| {
+                    let hits = &hits;
+                    move || {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            ex.fan_out(tasks);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fan_out_tasks_own_disjoint_mutable_shards() {
+        // The intended use: pre-split one output buffer, move one shard into
+        // each task, write in parallel, observe the whole buffer afterwards.
+        for threads in [1usize, 2, 4] {
+            let ex = Executor::new(threads);
+            let mut out = vec![0usize; 100];
+            {
+                let mut tasks = Vec::new();
+                let mut rest: &mut [usize] = &mut out;
+                let mut base = 0usize;
+                for len in [10usize, 25, 5, 60] {
+                    let (mine, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    let start = base;
+                    base += len;
+                    tasks.push(move || {
+                        for (k, slot) in mine.iter_mut().enumerate() {
+                            *slot = start + k;
+                        }
+                    });
+                }
+                ex.fan_out(tasks);
+            }
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fan_out_empty_and_single() {
+        Executor::new(4).fan_out(Vec::<fn()>::new());
+        let mut ran = false;
+        Executor::new(4).fan_out(vec![|| ran = true]);
+        assert!(ran);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   scoped task pair, which gives divide-and-conquer callers (the parallel
 //!   packed kd-tree build in `dpc-index`) depth-limited nested parallelism
 //!   without a work-stealing runtime.
+//! * **Scoped fan-out** ([`Executor::fan_out`]) — a vector of owning `FnOnce`
+//!   tasks run across the workers, each typically holding a disjoint `&mut`
+//!   shard of one output buffer (the parallel CSR grid build in `dpc-index`
+//!   scatters into per-cell-range slices this way).
 //!
 //! All primitives run inline when the executor has a single thread, so the
 //! single-threaded numbers reported by the benchmark harness contain no

@@ -58,6 +58,61 @@ fn extract_equals_monolithic_run_across_a_threshold_grid() {
     }
 }
 
+/// The paper's thread sweeps (fig. 9) are only meaningful end to end if a fit
+/// is deterministic in `--threads`. With the kd-tree (PR 3) and the CSR grid
+/// (this PR) both built by bit-identical parallel construction, the whole
+/// fitted model — every ρ, every δ, and every dependency chain — must be
+/// identical at 1 and 4 threads for both grid-based algorithms.
+#[test]
+fn approximate_fits_are_identical_across_thread_counts() {
+    type FitAtThreads<'a> = Box<dyn Fn(usize) -> DpcModel + 'a>;
+    // Above the parallel grid-build threshold (4,096 points), so the sharded
+    // key assignment and per-cell-range scatter actually run at 4 threads.
+    let data = random_walk(6_000, 3, 1e4, 29);
+    let dcut = 80.0;
+    let fits: Vec<(&str, FitAtThreads)> = vec![
+        (
+            "Approx-DPC",
+            Box::new(|threads| {
+                ApproxDpc::new(DpcParams::new(dcut).with_threads(threads)).fit(&data).unwrap()
+            }),
+        ),
+        (
+            "S-Approx-DPC",
+            Box::new(|threads| {
+                SApproxDpc::new(DpcParams::new(dcut).with_threads(threads))
+                    .with_epsilon(0.6)
+                    .fit(&data)
+                    .unwrap()
+            }),
+        ),
+    ];
+    for (name, fit) in &fits {
+        let seq = fit(1);
+        let par = fit(4);
+        // Bitwise, not approximate: -0.0 vs 0.0 or an ulp of drift fails.
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(seq.rho()), bits(par.rho()), "{name}: ρ differs across thread counts");
+        assert_eq!(bits(seq.delta()), bits(par.delta()), "{name}: δ differs across thread counts");
+        assert_eq!(seq.dependent(), par.dependent(), "{name}: dependent points differ");
+        // Same dependency chains: walking each point to its root visits the
+        // same sequence in both models (and terminates — no cycles).
+        for p in 0..data.len() {
+            let chain = |m: &DpcModel| {
+                let mut at = p;
+                let mut chain = vec![at];
+                while m.dependent()[at] != at {
+                    at = m.dependent()[at];
+                    chain.push(at);
+                    assert!(chain.len() <= data.len(), "{name}: dependency cycle at point {p}");
+                }
+                chain
+            };
+            assert_eq!(chain(&seq), chain(&par), "{name}: dependency chain of {p} differs");
+        }
+    }
+}
+
 #[test]
 fn extraction_order_does_not_matter() {
     // Extracting strict-then-loose must equal loose-then-strict: extract is a

@@ -215,12 +215,62 @@ fn parallel_kdtree_build_is_bit_identical_across_thread_counts() {
     }
 }
 
-/// The CSR grid must agree, cell for cell and point for point, with a plain
-/// `HashMap<key, Vec<point>>` reference layout (what the previous
+/// Asserts that `grid` agrees, cell for cell and point for point, with a
+/// plain `HashMap<key, Vec<point>>` reference layout (what the previous
 /// implementation stored directly), including the neighbour enumeration.
+fn assert_grid_matches_hashmap_reference(grid: &Grid, ds: &Dataset, side: f64, ctx: &str) {
+    use std::collections::{HashMap, HashSet};
+    let dim = ds.dim();
+    // Reference: straight recomputation of every point's integer key over
+    // the same origin (the dataset's bounding-box low corner).
+    let origin: Vec<f64> =
+        (0..dim).map(|a| ds.iter().map(|(_, p)| p[a]).fold(f64::INFINITY, f64::min)).collect();
+    let mut reference: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+    for (id, p) in ds.iter() {
+        let key: Vec<i64> = (0..dim).map(|a| ((p[a] - origin[a]) / side).floor() as i64).collect();
+        reference.entry(key).or_default().push(id);
+    }
+
+    assert_eq!(grid.num_cells(), reference.len(), "{ctx}");
+    for cell in grid.cell_ids() {
+        let key = grid.key(cell).to_vec();
+        let members = reference
+            .get(&key)
+            .unwrap_or_else(|| panic!("{ctx}: cell {cell} has key {key:?} not in the reference"));
+        // Same membership, same (ascending-id) order, and a consistent
+        // reverse mapping.
+        assert_eq!(grid.points(cell), members.as_slice(), "{ctx} cell {cell}");
+        for &p in members {
+            assert_eq!(grid.cell_of(p), cell, "{ctx} point {p}");
+        }
+        assert_eq!(grid.cell_by_key(&key), Some(cell), "{ctx}");
+    }
+
+    // Neighbour sets match the reference for a couple of radii.
+    for chebyshev in [1i64, 2] {
+        for cell in grid.cell_ids() {
+            let key = grid.key(cell);
+            let got: HashSet<usize> = grid.neighbors_within(cell, chebyshev).into_iter().collect();
+            let want: HashSet<usize> = reference
+                .keys()
+                .filter(|k| {
+                    k.as_slice() != key
+                        && k.iter().zip(key).all(|(a, b)| (a - b).abs() <= chebyshev)
+                })
+                .map(|k| grid.cell_by_key(k).unwrap())
+                .collect();
+            assert_eq!(got, want, "{ctx} cell {cell} chebyshev {chebyshev}");
+        }
+    }
+}
+
+/// The CSR grid must match the `HashMap` reference — and since PR 5, the
+/// fork-join parallel build must satisfy the same contract (it is
+/// `layout_eq`-identical to the serial build, so running the suite against it
+/// re-validates the whole reference behaviour on the parallel path).
 #[test]
 fn csr_grid_matches_hashmap_reference_layout() {
-    use std::collections::{HashMap, HashSet};
+    use fast_dpc::parallel::Executor;
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(0xC990 + seed);
         // Alternate uniform and duplicate-heavy (lattice-snapped) datasets.
@@ -228,49 +278,91 @@ fn csr_grid_matches_hashmap_reference_layout() {
         let n = rng.gen_range(50..400);
         let ds = random_dataset_nd(&mut rng, n, 2, snap);
         let side = rng.gen_range(0.5..25.0);
-        let grid = Grid::build(&ds, side);
-
-        // Reference: straight recomputation of every point's integer key over
-        // the same origin (the dataset's bounding-box low corner).
-        let origin: Vec<f64> =
-            (0..2).map(|a| ds.iter().map(|(_, p)| p[a]).fold(f64::INFINITY, f64::min)).collect();
-        let mut reference: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
-        for (id, p) in ds.iter() {
-            let key: Vec<i64> =
-                (0..2).map(|a| ((p[a] - origin[a]) / side).floor() as i64).collect();
-            reference.entry(key).or_default().push(id);
+        let serial = Grid::build(&ds, side);
+        assert_grid_matches_hashmap_reference(&serial, &ds, side, &format!("seed {seed} serial"));
+        let parallel = Grid::build_parallel(&ds, side, &Executor::new(4));
+        assert_grid_matches_hashmap_reference(
+            &parallel,
+            &ds,
+            side,
+            &format!("seed {seed} parallel"),
+        );
+        assert!(parallel.layout_eq(&serial), "seed {seed}");
+    }
+    // Datasets above the parallel-build threshold, so the sharded
+    // key-assignment and per-cell-range scatter machinery itself (not the
+    // serial fallback) is held to the reference contract.
+    for seed in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(0xC9B0 + seed);
+        let n = rng.gen_range(4_500..6_000);
+        let ds = random_dataset_nd(&mut rng, n, 2, seed == 1);
+        let side = rng.gen_range(5.0..25.0);
+        for threads in [2usize, 8] {
+            let grid = Grid::build_parallel(&ds, side, &Executor::new(threads));
+            assert_grid_matches_hashmap_reference(
+                &grid,
+                &ds,
+                side,
+                &format!("seed {seed} threads {threads} (forked)"),
+            );
         }
+    }
+}
 
-        assert_eq!(grid.num_cells(), reference.len(), "seed {seed}");
-        for cell in grid.cell_ids() {
-            let key = grid.key(cell).to_vec();
-            let members = reference.get(&key).unwrap_or_else(|| {
-                panic!("seed {seed}: cell {cell} has key {key:?} not in the reference")
-            });
-            // Same membership, same (ascending-id) order, and a consistent
-            // reverse mapping.
-            assert_eq!(grid.points(cell), members.as_slice(), "seed {seed} cell {cell}");
-            for &p in members {
-                assert_eq!(grid.cell_of(p), cell, "seed {seed} point {p}");
+/// The parallel CSR grid build must be bit-identical — same interned keys,
+/// key table, offsets, packed ids, coordinate rows and point→cell map — to
+/// the serial build at every thread count, on every degenerate data shape:
+/// uniform, duplicate-heavy, collinear and all-points-in-one-cell, in 2-d,
+/// 3-d and 8-d. This is the contract that lets the Approx-DPC and
+/// S-Approx-DPC fit paths adopt the parallel build without any behavioural
+/// change.
+#[test]
+fn parallel_grid_build_is_bit_identical_across_thread_counts() {
+    use fast_dpc::parallel::Executor;
+    for &dim in &[2usize, 3, 8] {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(0xC9D0 + seed * 97 + dim as u64);
+            // All sizes straddle the parallel threshold (4096 points) from
+            // above so the sharded path actually runs.
+            let n = rng.gen_range(4_200..5_500);
+            let uniform = random_dataset_nd(&mut rng, n, dim, false);
+            let duplicate_heavy = random_dataset_nd(&mut rng, n, dim, true);
+            let collinear = {
+                // x varies over a coarse lattice (repeats included), every
+                // other axis is constant: all keys differ in one lane only.
+                let mut ds = Dataset::new(dim);
+                let mut row = vec![5.0f64; dim];
+                for _ in 0..n {
+                    row[0] = rng.gen_range(0..60) as f64;
+                    ds.push(&row);
+                }
+                ds
+            };
+            let shapes =
+                [("uniform", uniform), ("duplicates", duplicate_heavy), ("collinear", collinear)];
+            for (shape, ds) in &shapes {
+                for side in [2.5f64, 11.0] {
+                    let serial = Grid::build(ds, side);
+                    for threads in [1usize, 2, 4, 8] {
+                        let parallel = Grid::build_parallel(ds, side, &Executor::new(threads));
+                        assert!(
+                            parallel.layout_eq(&serial),
+                            "dim {dim} seed {seed} {shape} side {side}: \
+                             {threads}-thread grid build differs from serial"
+                        );
+                    }
+                }
             }
-            assert_eq!(grid.cell_by_key(&key), Some(cell), "seed {seed}");
-        }
-
-        // Neighbour sets match the reference for a couple of radii.
-        for chebyshev in [1i64, 2] {
-            for cell in grid.cell_ids() {
-                let key = grid.key(cell);
-                let got: HashSet<usize> =
-                    grid.neighbors_within(cell, chebyshev).into_iter().collect();
-                let want: HashSet<usize> = reference
-                    .keys()
-                    .filter(|k| {
-                        k.as_slice() != key
-                            && k.iter().zip(key).all(|(a, b)| (a - b).abs() <= chebyshev)
-                    })
-                    .map(|k| grid.cell_by_key(k).unwrap())
-                    .collect();
-                assert_eq!(got, want, "seed {seed} cell {cell} chebyshev {chebyshev}");
+            // All points in one cell: a side wider than the data extent.
+            let (shape, ds) = &shapes[0];
+            let serial = Grid::build(ds, 10_000.0);
+            assert_eq!(serial.num_cells(), 1);
+            for threads in [1usize, 2, 4, 8] {
+                let parallel = Grid::build_parallel(ds, 10_000.0, &Executor::new(threads));
+                assert!(
+                    parallel.layout_eq(&serial),
+                    "dim {dim} seed {seed} {shape} one-cell: {threads}-thread build differs"
+                );
             }
         }
     }
