@@ -1,0 +1,240 @@
+//! Serving-layer benchmark: requests/sec and tail latency of a `DpcServer`
+//! under concurrent load with background refit-and-swap churn.
+//!
+//! Three workloads — relabel-heavy (threshold sweeps via `extract`),
+//! assign-heavy (point classification on the snapshot kd-tree) and mixed —
+//! each run at 1, 4 and 8 worker threads while a writer thread continuously
+//! refits the model and installs fresh epochs, so every number includes the
+//! cost of real snapshot churn. Per workload × worker count three kernels are
+//! recorded: the batch wall-clock (`serve_<w>_t<T>`, min/mean over
+//! repetitions — requests/sec is `requests / mean`), and the nearest-rank
+//! p50/p99 per-request latencies (`serve_<w>_t<T>_p50` / `_p99`, one value
+//! over all repetitions' samples, stored as `min = mean`).
+//!
+//! Results go to `BENCH_serve.json` (schema in `crates/bench/README.md`).
+//!
+//! Flags: `--n <points>` (default 20,000), `--requests <R>` per batch
+//! (default 1,500), `--threads <T>` (default: available parallelism; sizes
+//! only the background *refit* executor — the serving worker counts {1, 4, 8}
+//! are part of the kernel identity and never change), `--out <json>` (default
+//! `BENCH_serve.json`, resolved against the workspace root), `--check`
+//! (validate the emitted JSON and exit non-zero on schema drift).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use dpc_bench::micro::{write_bench_json, BenchRecord};
+use dpc_bench::resolve_out_path;
+use dpc_bench::schema::{check_or_exit, required};
+use dpc_bench::stats::{percentile, sorted_samples};
+use dpc_bench::{default_params, default_thresholds, BenchDataset};
+use dpc_core::{DpcParams, ExDpc, Thresholds};
+use dpc_geometry::Dataset;
+use dpc_parallel::Executor;
+use dpc_serve::{DpcServer, Request};
+
+/// Serving worker counts — baked into the kernel labels, independent of
+/// `--threads`.
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Timed repetitions per workload × worker count.
+const REPS: usize = 3;
+
+/// Workload shapes: request-kind mix per 10 requests.
+const WORKLOADS: [(&str, usize, usize); 3] = [
+    // (label, relabels per 10, assigns per 10) — the remainder is Stats.
+    ("relabel_heavy", 8, 1),
+    ("assign_heavy", 1, 8),
+    ("mixed", 4, 4),
+];
+
+/// Tiny deterministic generator (splitmix64) for request mixing — the bench
+/// must produce the identical request stream on every run and platform.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds one workload's deterministic request stream: `relabel_w` /
+/// `assign_w` / remainder-Stats per 10 requests, interleaved. Relabels sweep
+/// `δ_min` around the default; assigns perturb points drawn from the dataset
+/// by up to half a `d_cut`, so most queries land inside a cluster and some
+/// fall into the sparse in-between.
+fn build_requests(
+    label: &str,
+    count: usize,
+    data: &Dataset,
+    params: &DpcParams,
+    thresholds: &Thresholds,
+    relabel_w: usize,
+    assign_w: usize,
+) -> Vec<Request> {
+    let mut rng = SplitMix(0xd1ce ^ label.len() as u64);
+    (0..count)
+        .map(|i| match i % 10 {
+            slot if slot < relabel_w => {
+                let delta_min = thresholds.delta_min * (0.5 + rng.unit());
+                let rho_min = thresholds.rho_min * rng.unit();
+                Request::Relabel(Thresholds::new(rho_min, delta_min).expect("in-domain sweep"))
+            }
+            slot if slot < relabel_w + assign_w => {
+                let base = data.point((rng.next() % data.len() as u64) as usize);
+                let point =
+                    base.iter().map(|c| c + (rng.unit() - 0.5) * params.dcut).collect::<Vec<f64>>();
+                Request::Assign(point)
+            }
+            _ => Request::Stats,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut n = 20_000usize;
+    let mut requests_per_batch = 1_500usize;
+    let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut out = resolve_out_path("BENCH_serve.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => n = args.next().expect("--n requires a value").parse().expect("--n <points>"),
+            "--requests" => {
+                requests_per_batch = args
+                    .next()
+                    .expect("--requests requires a value")
+                    .parse()
+                    .expect("--requests <R>")
+            }
+            "--threads" => {
+                threads =
+                    args.next().expect("--threads requires a value").parse().expect("--threads <T>")
+            }
+            "--out" => out = resolve_out_path(&args.next().expect("--out requires a path")),
+            "--check" => check = true,
+            "--bench" => {} // appended by `cargo bench`
+            other => panic!(
+                "unknown argument: {other} (flags: --n <points> --requests <R> --threads <T> --out <json> --check)"
+            ),
+        }
+    }
+
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(n);
+    let d = data.dim();
+    let params = default_params(&dataset, threads);
+    let thresholds = default_thresholds(params.dcut);
+    let refit_executor = Executor::new(threads);
+    println!(
+        "serve ({} n = {n}, requests/batch = {requests_per_batch}, refit threads = {threads})",
+        dataset.name()
+    );
+
+    let server = DpcServer::fit(&ExDpc::new(params), data.clone(), thresholds, &refit_executor)
+        .expect("initial fit");
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (label, relabel_w, assign_w) in WORKLOADS {
+        let requests = build_requests(
+            label,
+            requests_per_batch,
+            &data,
+            &params,
+            &thresholds,
+            relabel_w,
+            assign_w,
+        );
+        for workers in WORKER_COUNTS {
+            let pool = Executor::new(workers);
+            let mut batch_walls = Vec::with_capacity(REPS);
+            let mut latencies: Vec<f64> = Vec::with_capacity(REPS * requests_per_batch);
+            let stop = AtomicBool::new(false);
+            let refits = AtomicU64::new(0);
+
+            // The swap writer churns epochs for the whole measurement of this
+            // (workload, workers) cell: fit outside the store lock, install
+            // atomically, repeat until the readers are done.
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        server
+                            .store()
+                            .refit(&ExDpc::new(params), data.clone(), thresholds, &refit_executor)
+                            .expect("refit");
+                        refits.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+
+                // Warm-up pass (untimed), then the timed repetitions.
+                for timed in [false, true, true, true] {
+                    let start = Instant::now();
+                    let per_worker: Vec<Vec<f64>> = pool.map_chunks(requests.len(), |range| {
+                        let mut worker_lat = Vec::with_capacity(range.len());
+                        for i in range {
+                            let t0 = Instant::now();
+                            let response =
+                                server.handle(&requests[i]).expect("well-formed request");
+                            worker_lat.push(t0.elapsed().as_secs_f64());
+                            assert!(response.epoch() >= 1, "torn epoch");
+                        }
+                        worker_lat
+                    });
+                    if timed {
+                        batch_walls.push(start.elapsed().as_secs_f64());
+                        latencies.extend(per_worker.into_iter().flatten());
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+
+            let min_wall = batch_walls.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean_wall = batch_walls.iter().sum::<f64>() / batch_walls.len() as f64;
+            let sorted = sorted_samples(latencies);
+            let p50 = percentile(&sorted, 50.0);
+            let p99 = percentile(&sorted, 99.0);
+            println!(
+                "{label:<14} t{workers}: {:>9.1} req/s  p50 {:>9.1}µs  p99 {:>9.1}µs  ({} refits, epoch {})",
+                requests_per_batch as f64 / mean_wall,
+                p50 * 1e6,
+                p99 * 1e6,
+                refits.load(Ordering::Relaxed),
+                server.epoch(),
+            );
+            records.push(BenchRecord {
+                kernel: format!("serve_{label}_t{workers}"),
+                n,
+                d,
+                iters: REPS,
+                min_secs: min_wall,
+                mean_secs: mean_wall,
+            });
+            for (suffix, value) in [("p50", p50), ("p99", p99)] {
+                records.push(BenchRecord {
+                    kernel: format!("serve_{label}_t{workers}_{suffix}"),
+                    n,
+                    d,
+                    iters: sorted.len(),
+                    min_secs: value,
+                    mean_secs: value,
+                });
+            }
+        }
+    }
+
+    write_bench_json(&out, "serve", &records).expect("write BENCH json");
+    println!("wrote {}", out.display());
+    if check {
+        check_or_exit(&out, "serve", required::SERVE);
+    }
+}

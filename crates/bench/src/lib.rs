@@ -18,8 +18,10 @@ pub mod micro;
 pub mod paths;
 pub mod runner;
 pub mod schema;
+pub mod stats;
 
 pub use cli::HarnessArgs;
 pub use datasets::{bench_dataset, default_params, default_thresholds, BenchDataset};
 pub use paths::resolve_out_path;
 pub use runner::{fit_algorithm, run_algorithm, Algo};
+pub use stats::{percentile, sorted_samples};

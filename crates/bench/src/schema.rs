@@ -282,6 +282,41 @@ pub mod required {
         "fit_extract_s_approx_dpc",
         "extract_only",
     ];
+    /// `BENCH_serve.json` (`benches/serve.rs`): three workloads × worker
+    /// counts {1, 4, 8}, each with a throughput kernel (`min`/`mean` of the
+    /// per-repetition batch wall-clock) plus nearest-rank p50/p99 per-request
+    /// latency kernels. The worker counts are part of the kernel identity —
+    /// `--threads` only resizes the background refit executor, so every run
+    /// emits the same 27 kernels.
+    pub const SERVE: &[&str] = &[
+        "serve_relabel_heavy_t1",
+        "serve_relabel_heavy_t1_p50",
+        "serve_relabel_heavy_t1_p99",
+        "serve_relabel_heavy_t4",
+        "serve_relabel_heavy_t4_p50",
+        "serve_relabel_heavy_t4_p99",
+        "serve_relabel_heavy_t8",
+        "serve_relabel_heavy_t8_p50",
+        "serve_relabel_heavy_t8_p99",
+        "serve_assign_heavy_t1",
+        "serve_assign_heavy_t1_p50",
+        "serve_assign_heavy_t1_p99",
+        "serve_assign_heavy_t4",
+        "serve_assign_heavy_t4_p50",
+        "serve_assign_heavy_t4_p99",
+        "serve_assign_heavy_t8",
+        "serve_assign_heavy_t8_p50",
+        "serve_assign_heavy_t8_p99",
+        "serve_mixed_t1",
+        "serve_mixed_t1_p50",
+        "serve_mixed_t1_p99",
+        "serve_mixed_t4",
+        "serve_mixed_t4_p50",
+        "serve_mixed_t4_p99",
+        "serve_mixed_t8",
+        "serve_mixed_t8_p50",
+        "serve_mixed_t8_p99",
+    ];
 }
 
 /// Looks a key up in an object, requiring it to be present exactly once.
@@ -522,6 +557,7 @@ mod tests {
             ("BENCH_grid_build.json", "grid_build", required::GRID_BUILD),
             ("BENCH_local_density.json", "local_density", required::LOCAL_DENSITY),
             ("BENCH_e2e.json", "end_to_end", required::END_TO_END),
+            ("BENCH_serve.json", "serve", required::SERVE),
         ] {
             let path = root.join(file);
             if let Err(e) = check_file(&path, bench, kernels) {

@@ -1,0 +1,142 @@
+//! Latency statistics shared by the serving benches: exact nearest-rank
+//! percentiles over measured samples.
+//!
+//! Benches that report tail latency (p50/p99) must all mean the same thing by
+//! it, so the math lives here instead of ad hoc in each bench binary. The
+//! definition is the *nearest-rank* percentile on the sorted samples — exact,
+//! no interpolation: the `p`-th percentile of `n` samples is the sample at
+//! rank `⌈p/100 · n⌉` (1-based, clamped to at least 1). It is always an
+//! actually observed value, which is what a latency report should quote.
+
+/// Exact nearest-rank percentile of `sorted` (ascending), `p` in `[0, 100]`.
+///
+/// Rank `⌈p/100 · n⌉` (1-based), clamped to at least 1, so `p = 0` returns
+/// the minimum and `p = 100` the maximum. With a single sample every
+/// percentile is that sample. Ties are naturally exact: the returned value is
+/// always an element of `sorted`.
+///
+/// # Panics
+/// Panics when `sorted` is empty, when `p` is outside `[0, 100]` or NaN, or
+/// (as a cheap sortedness spot-check) when the first sample exceeds the last.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of zero samples is undefined");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    assert!(
+        sorted[0] <= sorted[sorted.len() - 1],
+        "samples are not sorted ascending (first {} > last {})",
+        sorted[0],
+        sorted[sorted.len() - 1]
+    );
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Sorts `samples` ascending and returns them, for feeding [`percentile`].
+/// NaN samples are rejected up front — a NaN latency is a measurement bug,
+/// and letting it float around `sort_unstable_by(total_cmp)` would silently
+/// skew every rank after it.
+///
+/// # Panics
+/// Panics when any sample is NaN.
+pub fn sorted_samples(mut samples: Vec<f64>) -> Vec<f64> {
+    assert!(!samples.iter().any(|s| s.is_nan()), "NaN latency sample");
+    samples.sort_unstable_by(f64::total_cmp);
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_distribution() {
+        // The classic worked example: 5 samples, p30 → rank ⌈1.5⌉ = 2.
+        let s = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&s, 30.0), 20.0);
+        assert_eq!(percentile(&s, 40.0), 20.0); // rank ⌈2.0⌉ = 2
+        assert_eq!(percentile(&s, 50.0), 35.0); // rank ⌈2.5⌉ = 3
+        assert_eq!(percentile(&s, 100.0), 50.0);
+        assert_eq!(percentile(&s, 0.0), 15.0); // clamped to rank 1
+    }
+
+    #[test]
+    fn single_sample_answers_every_percentile() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.5], p), 42.5);
+        }
+    }
+
+    #[test]
+    fn ties_return_the_tied_value_exactly() {
+        let s = [1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 9.0];
+        for p in [20.0, 50.0, 80.0] {
+            assert_eq!(percentile(&s, p), 2.0);
+        }
+        assert_eq!(percentile(&s, 100.0), 9.0);
+        // An all-tied distribution is flat everywhere.
+        let flat = [3.0; 16];
+        assert_eq!(percentile(&flat, 99.0), 3.0);
+    }
+
+    #[test]
+    fn p99_is_the_max_below_100_samples_and_not_above() {
+        // With n < 100, ⌈0.99 n⌉ = n: p99 is the maximum.
+        let small: Vec<f64> = (1..=50).map(f64::from).collect();
+        assert_eq!(percentile(&small, 99.0), 50.0);
+        // With n = 200, ⌈0.99 · 200⌉ = 198: two samples sit above p99.
+        let big: Vec<f64> = (1..=200).map(f64::from).collect();
+        assert_eq!(percentile(&big, 99.0), 198.0);
+        assert_eq!(percentile(&big, 50.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_is_always_an_observed_sample() {
+        let s = sorted_samples(vec![0.7, 0.1, 0.4, 0.9, 0.2, 0.6]);
+        for p in 0..=100 {
+            let v = percentile(&s, f64::from(p));
+            assert!(s.contains(&v), "p{p} returned {v}, not a sample");
+        }
+        // Monotone in p.
+        for p in 1..=100 {
+            assert!(percentile(&s, f64::from(p)) >= percentile(&s, f64::from(p - 1)));
+        }
+    }
+
+    #[test]
+    fn sorted_samples_sorts_including_infinities() {
+        let s = sorted_samples(vec![f64::INFINITY, 1.0, -1.0]);
+        assert_eq!(s, vec![-1.0, 1.0, f64::INFINITY]);
+        assert_eq!(percentile(&s, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_panic() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn out_of_range_p_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn nan_p_panics() {
+        percentile(&[1.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn obviously_unsorted_input_panics() {
+        percentile(&[9.0, 1.0], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN latency sample")]
+    fn nan_sample_panics() {
+        sorted_samples(vec![1.0, f64::NAN]);
+    }
+}

@@ -92,9 +92,50 @@ impl DpcModel {
         self.rho.is_empty()
     }
 
+    /// Number of points in the fitted dataset — an alias for
+    /// [`DpcModel::len`] matching the paper's `n`. Serving layers and
+    /// external tooling read per-point quantities with
+    /// [`rho_at`](DpcModel::rho_at) / [`delta_at`](DpcModel::delta_at) /
+    /// [`dependent_at`](DpcModel::dependent_at) over `0..n()`.
+    pub fn n(&self) -> usize {
+        self.rho.len()
+    }
+
     /// Local density `ρ_i` of every point.
     pub fn rho(&self) -> &[f64] {
         &self.rho
+    }
+
+    /// Local density `ρ_i` of point `i` (jittered count, see the crate docs on
+    /// density tie-breaking).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    #[inline]
+    pub fn rho_at(&self, i: usize) -> f64 {
+        self.rho[i]
+    }
+
+    /// Dependent distance `δ_i` of point `i`: the distance to its nearest
+    /// neighbour of higher local density, or `∞` for the globally densest
+    /// point.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    #[inline]
+    pub fn delta_at(&self, i: usize) -> f64 {
+        self.delta[i]
+    }
+
+    /// Dependent point `q_i` of point `i` — the identifier of its nearest
+    /// neighbour of higher local density. The globally densest point depends
+    /// on itself (`dependent_at(i) == i`).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    #[inline]
+    pub fn dependent_at(&self, i: usize) -> usize {
+        self.dependent[i]
     }
 
     /// Dependent distance `δ_i` of every point.
@@ -178,10 +219,45 @@ mod tests {
         assert_eq!(m.algorithm(), "toy");
         assert_eq!(m.dcut(), 1.0);
         assert_eq!(m.len(), 6);
+        assert_eq!(m.n(), 6);
         assert!(!m.is_empty());
         assert_eq!(m.index_bytes(), 77);
         assert_eq!(m.density_order(), &[0, 4, 1, 2, 3, 5]);
         assert_eq!(m.decision_graph().len(), 6);
+    }
+
+    /// The per-point read accessors agree with the slice accessors on a real
+    /// fitted model (not just the hand-built toy), so external tooling — the
+    /// `dpc-serve` assignment path in particular — can rely on them without
+    /// reaching for the private fields.
+    #[test]
+    fn per_point_accessors_match_slices_on_a_fit() {
+        use crate::{DpcAlgorithm, DpcParams, ExDpc};
+        let data = dpc_data::generators::gaussian_blobs(&[(0.0, 0.0), (40.0, 40.0)], 60, 2.0, 13);
+        let m = ExDpc::new(DpcParams::new(3.0)).fit(&data).unwrap();
+        assert_eq!(m.n(), data.len());
+        assert_eq!(m.n(), m.len());
+        for i in 0..m.n() {
+            assert_eq!(m.rho_at(i).to_bits(), m.rho()[i].to_bits());
+            assert_eq!(m.delta_at(i).to_bits(), m.delta()[i].to_bits());
+            assert_eq!(m.dependent_at(i), m.dependent()[i]);
+            assert!(m.dependent_at(i) < m.n());
+        }
+        // The densest point depends on itself with δ = ∞; everyone else
+        // depends on a strictly denser point.
+        let top = m.density_order()[0];
+        assert_eq!(m.dependent_at(top), top);
+        assert!(m.delta_at(top).is_infinite());
+        for &i in &m.density_order()[1..] {
+            assert!(m.rho_at(m.dependent_at(i)) > m.rho_at(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn per_point_accessors_panic_out_of_range() {
+        let m = toy_model();
+        let _ = m.rho_at(m.n());
     }
 
     #[test]

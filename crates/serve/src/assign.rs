@@ -1,0 +1,206 @@
+//! Classifying an incoming point against a snapshot without refitting.
+//!
+//! The assignment mirrors the model's own semantics (Definitions 1–3 of the
+//! paper) as if the query had been part of the fit:
+//!
+//! 1. **Density.** `ρ_q` is the `d_cut` range count over the snapshot's
+//!    kd-tree. The fitted points carry a deterministic tie-breaking jitter in
+//!    `(0, 1)` on top of their integer counts, so a *new* query gets the
+//!    interval midpoint `count + 0.5` — it compares against every fitted
+//!    density exactly as an equal integer count "on average", and strictly
+//!    between the counts below and above it. A query that coincides with a
+//!    fitted point (nearest neighbour at distance exactly `0`) short-circuits
+//!    to that point's own fitted `ρ`/`δ`/dependent/label, making assignment
+//!    of in-dataset points exact by construction.
+//! 2. **Dependent point.** The nearest snapshot point with `ρ > ρ_q`, found
+//!    by an expanding-radius search: start at
+//!    `max(nearest-neighbour distance, d_cut)` and double until a
+//!    higher-density point falls inside the ball (any qualifying point at
+//!    distance `d ≤ r` proves the global nearest qualifier is also inside the
+//!    ball) or the ball swallows the whole dataset — in which case the query
+//!    out-ranks every fitted point and gets `δ = ∞`, exactly like the
+//!    globally densest fitted point.
+//! 3. **Label.** The dependent point's label under the snapshot's default
+//!    thresholds, read from the cached [`Clustering`](dpc_core::Clustering)
+//!    in `O(1)` — label propagation follows dependency chains, so one hop
+//!    lands on the already-propagated answer. Noise stays noise, and a query
+//!    with `ρ_q < ρ_min` is noise itself (Definition 4).
+
+use dpc_core::{DpcError, NOISE};
+
+use crate::request::AssignResponse;
+use crate::snapshot::Snapshot;
+
+/// Classifies `point` against `snapshot`. See the module docs for the exact
+/// density/dependent/label semantics.
+///
+/// # Errors
+/// * [`DpcError::DimensionMismatch`] when `point` is not `snapshot.dim()`
+///   coordinates long;
+/// * [`DpcError::NonFiniteCoordinate`] when any coordinate is NaN or ±∞
+///   (non-finite queries would silently defeat the kd-tree's bounding-box
+///   pruning and return a wrong density instead of failing).
+pub fn classify(snapshot: &Snapshot, point: &[f64]) -> Result<AssignResponse, DpcError> {
+    if point.len() != snapshot.dim() {
+        return Err(DpcError::DimensionMismatch {
+            what: "query point",
+            expected: snapshot.dim(),
+            got: point.len(),
+        });
+    }
+    if let Some(axis) = point.iter().position(|c| !c.is_finite()) {
+        return Err(DpcError::NonFiniteCoordinate { point: 0, axis });
+    }
+
+    let model = snapshot.model();
+    let clustering = snapshot.clustering();
+    let thresholds = snapshot.thresholds();
+    let tree = snapshot.tree();
+    let n = snapshot.n();
+
+    // A snapshot always covers at least one point (fit rejects empty data).
+    let (nn, nn_dist) =
+        tree.nearest_neighbor(point, None).expect("snapshot datasets are never empty");
+
+    if nn_dist == 0.0 {
+        // The query *is* a fitted point: answer with its fitted quantities so
+        // in-dataset assignment agrees bit-for-bit with `extract`.
+        let rho = model.rho_at(nn);
+        let delta = model.delta_at(nn);
+        let dependent = model.dependent_at(nn);
+        return Ok(AssignResponse {
+            epoch: snapshot.epoch(),
+            n,
+            rho,
+            delta,
+            dependent: if dependent == nn { None } else { Some(dependent) },
+            label: clustering.assignment[nn],
+            would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
+        });
+    }
+
+    let rho = tree.range_count(point, snapshot.dcut(), None) as f64 + 0.5;
+
+    // Expanding-radius search for the nearest fitted point denser than the
+    // query. Any qualifier inside the current ball bounds the answer inside
+    // the same ball, so the first non-empty round is conclusive.
+    let mut radius = nn_dist.max(snapshot.dcut());
+    let mut ball = Vec::new();
+    let (dependent, delta) = loop {
+        ball.clear();
+        tree.range_search_into(point, radius, &mut ball);
+        let best = ball
+            .iter()
+            .filter(|&&j| model.rho_at(j) > rho)
+            .map(|&j| (j, dpc_geometry::dist(point, snapshot.data().point(j))))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((j, d)) = best {
+            break (Some(j), d);
+        }
+        if ball.len() == n {
+            // The ball swallowed the dataset and nobody out-ranks the query:
+            // it would have been the globally densest point.
+            break (None, f64::INFINITY);
+        }
+        radius *= 2.0;
+    };
+
+    let label = match dependent {
+        Some(j) if rho >= thresholds.rho_min => clustering.assignment[j],
+        _ => NOISE,
+    };
+    Ok(AssignResponse {
+        epoch: snapshot.epoch(),
+        n,
+        rho,
+        delta,
+        dependent,
+        label,
+        would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::{DpcAlgorithm, DpcParams, ExDpc, Thresholds};
+    use dpc_data::generators::gaussian_blobs;
+    use dpc_parallel::Executor;
+    use std::sync::Arc;
+
+    fn snapshot() -> Snapshot {
+        let data = Arc::new(gaussian_blobs(&[(0.0, 0.0), (80.0, 80.0)], 100, 2.0, 21));
+        let model = ExDpc::new(DpcParams::new(4.0)).fit(&data).unwrap();
+        Snapshot::new(data, model, Thresholds::new(2.0, 10.0).unwrap(), &Executor::single())
+    }
+
+    #[test]
+    fn in_dataset_points_get_their_own_fitted_answer() {
+        let snap = snapshot();
+        for i in (0..snap.n()).step_by(13) {
+            let r = classify(&snap, snap.data().point(i)).unwrap();
+            assert_eq!(r.rho.to_bits(), snap.model().rho_at(i).to_bits());
+            assert_eq!(r.delta.to_bits(), snap.model().delta_at(i).to_bits());
+            assert_eq!(r.label, snap.clustering().assignment[i]);
+        }
+    }
+
+    #[test]
+    fn a_point_near_a_blob_joins_that_blob() {
+        let snap = snapshot();
+        // Find the label each blob's centre region carries.
+        let near_origin = classify(&snap, &[0.5, -0.5]).unwrap();
+        let near_far = classify(&snap, &[79.5, 80.5]).unwrap();
+        assert_ne!(near_origin.label, NOISE);
+        assert_ne!(near_far.label, NOISE);
+        assert_ne!(near_origin.label, near_far.label);
+        assert!(near_origin.delta.is_finite());
+        assert!(near_origin.dependent.is_some());
+        assert!(!near_origin.would_be_center);
+    }
+
+    #[test]
+    fn a_far_away_sparse_point_is_noise() {
+        let snap = snapshot();
+        // Far from both blobs: zero in-range neighbours → ρ = 0.5 < ρ_min = 2.
+        let r = classify(&snap, &[-200.0, 300.0]).unwrap();
+        assert_eq!(r.rho, 0.5);
+        assert_eq!(r.label, NOISE);
+        assert!(r.delta.is_finite(), "some fitted point is denser than ρ=0.5");
+        assert!(!r.would_be_center);
+    }
+
+    #[test]
+    fn the_densest_query_outranks_everyone() {
+        // Three isolated points: each fitted ρ is jitter-only (count 0), so
+        // any query whose range count is ≥ 1 out-ranks the whole dataset.
+        let data =
+            Arc::new(dpc_geometry::Dataset::from_flat(2, vec![0.0, 0.0, 100.0, 0.0, 0.0, 100.0]));
+        let model = ExDpc::new(DpcParams::new(5.0)).fit(&data).unwrap();
+        let snap =
+            Snapshot::new(data, model, Thresholds::new(0.0, 10.0).unwrap(), &Executor::single());
+        let r = classify(&snap, &[1.0, 1.0]).unwrap();
+        assert_eq!(r.rho, 1.5);
+        assert!(r.delta.is_infinite());
+        assert_eq!(r.dependent, None);
+        assert_eq!(r.label, NOISE, "no dependent point to inherit a label from");
+        assert!(r.would_be_center, "ρ ≥ 0 and δ = ∞ ≥ δ_min");
+    }
+
+    #[test]
+    fn malformed_queries_are_errors_not_panics() {
+        let snap = snapshot();
+        assert_eq!(
+            classify(&snap, &[1.0]).unwrap_err(),
+            DpcError::DimensionMismatch { what: "query point", expected: 2, got: 1 }
+        );
+        assert_eq!(
+            classify(&snap, &[1.0, f64::NAN]).unwrap_err(),
+            DpcError::NonFiniteCoordinate { point: 0, axis: 1 }
+        );
+        assert_eq!(
+            classify(&snap, &[f64::INFINITY, 0.0]).unwrap_err(),
+            DpcError::NonFiniteCoordinate { point: 0, axis: 0 }
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The typed request/response surface of the serving layer.
+//!
+//! Three request kinds cover the interactive workflow the paper's §6.4
+//! motivates, plus the streaming case it leaves open:
+//!
+//! * [`Request::Relabel`] — re-threshold the fitted model (`O(n)` extract, no
+//!   refit) and summarise the resulting clustering;
+//! * [`Request::Assign`] — classify one incoming point against the current
+//!   epoch without refitting (density by range-count, nearest higher-density
+//!   neighbour, dependency-chain walk to a label);
+//! * [`Request::Stats`] — observe the serving state (epoch, sizes, fit
+//!   timings, index memory).
+//!
+//! Every response carries the epoch it was computed against, so clients can
+//! correlate answers across a background refit: all fields of one response
+//! come from exactly one epoch, never a mixture.
+
+use dpc_core::{Thresholds, Timings};
+
+/// A request against the current snapshot of a
+/// [`DpcServer`](crate::DpcServer).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Re-extract the clustering at the given thresholds — the paper's
+    /// interactive threshold sweep, `O(n)` per call.
+    Relabel(Thresholds),
+    /// Classify one incoming point (its coordinates, `dim`-long) against the
+    /// snapshot without refitting.
+    Assign(Vec<f64>),
+    /// Report the serving state of the current epoch.
+    Stats,
+}
+
+/// The answer to a [`Request`]; each variant mirrors one request kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Relabel`].
+    Relabel(RelabelResponse),
+    /// Answer to [`Request::Assign`].
+    Assign(AssignResponse),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsResponse),
+}
+
+impl Response {
+    /// The epoch this response was computed against, regardless of kind.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Response::Relabel(r) => r.epoch,
+            Response::Assign(r) => r.epoch,
+            Response::Stats(r) => r.epoch,
+        }
+    }
+}
+
+/// Summary of one threshold-sweep extraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelabelResponse {
+    /// Epoch of the snapshot the extraction ran on.
+    pub epoch: u64,
+    /// Number of points in that snapshot's dataset.
+    pub n: usize,
+    /// Thresholds the clustering was extracted with.
+    pub thresholds: Thresholds,
+    /// Number of clusters selected.
+    pub num_clusters: usize,
+    /// Number of points labelled noise.
+    pub noise_count: usize,
+    /// Identifiers of the selected centres, ascending.
+    pub centers: Vec<usize>,
+}
+
+/// Classification of one incoming point against a snapshot, mirroring the
+/// model's own `ρ`/`δ`/dependent semantics (see [`crate::assign`] for the
+/// exact rules).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignResponse {
+    /// Epoch of the snapshot the point was classified against.
+    pub epoch: u64,
+    /// Number of points in that snapshot's dataset.
+    pub n: usize,
+    /// Local density of the query point: the `d_cut` range count over the
+    /// snapshot, tie-broken exactly like the model for in-dataset points and
+    /// by the jitter-interval midpoint (`count + 0.5`) for new points.
+    pub rho: f64,
+    /// Distance to the nearest snapshot point of higher local density, or
+    /// `∞` when the query out-ranks every fitted point.
+    pub delta: f64,
+    /// Identifier of that nearest higher-density point, or `None` when
+    /// `delta` is `∞`.
+    pub dependent: Option<usize>,
+    /// Cluster label under the snapshot's default thresholds: the dependent
+    /// point's label (noise stays noise), or [`dpc_core::NOISE`] when the
+    /// query itself falls below `ρ_min` or has no dependent point.
+    pub label: i64,
+    /// Whether the query would itself qualify as a centre under the
+    /// snapshot's default thresholds (`ρ ≥ ρ_min` and `δ ≥ δ_min`) — the
+    /// serving-time signal that the model is going stale and a refit is due.
+    pub would_be_center: bool,
+}
+
+/// Serving state of one epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsResponse {
+    /// Current epoch number.
+    pub epoch: u64,
+    /// Number of points in the epoch's dataset.
+    pub n: usize,
+    /// Dimensionality of the epoch's dataset.
+    pub dim: usize,
+    /// Name of the algorithm that fitted the epoch's model.
+    pub algorithm: &'static str,
+    /// Cutoff distance the model was fitted with.
+    pub dcut: f64,
+    /// The epoch's default thresholds (what `Assign` classifies against).
+    pub thresholds: Thresholds,
+    /// Number of clusters under the default thresholds.
+    pub num_clusters: usize,
+    /// Wall-clock of the fit phases that produced the epoch.
+    pub fit_timings: Timings,
+    /// Approximate heap bytes pinned by the epoch's index structures (fit
+    /// indexes plus the serving kd-tree).
+    pub index_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_epoch_is_uniform_across_kinds() {
+        let relabel = Response::Relabel(RelabelResponse {
+            epoch: 3,
+            n: 10,
+            thresholds: Thresholds::for_dcut(1.0),
+            num_clusters: 2,
+            noise_count: 1,
+            centers: vec![0, 4],
+        });
+        let assign = Response::Assign(AssignResponse {
+            epoch: 4,
+            n: 10,
+            rho: 5.5,
+            delta: 0.25,
+            dependent: Some(7),
+            label: 1,
+            would_be_center: false,
+        });
+        let stats = Response::Stats(StatsResponse {
+            epoch: 5,
+            n: 10,
+            dim: 2,
+            algorithm: "toy",
+            dcut: 1.0,
+            thresholds: Thresholds::for_dcut(1.0),
+            num_clusters: 2,
+            fit_timings: Timings::default(),
+            index_bytes: 128,
+        });
+        assert_eq!(relabel.epoch(), 3);
+        assert_eq!(assign.epoch(), 4);
+        assert_eq!(stats.epoch(), 5);
+    }
+
+    #[test]
+    fn requests_are_value_types() {
+        let a = Request::Assign(vec![1.0, 2.0]);
+        assert_eq!(a.clone(), a);
+        assert_ne!(Request::Stats, Request::Relabel(Thresholds::for_dcut(1.0)));
+    }
+}

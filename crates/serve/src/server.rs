@@ -1,0 +1,211 @@
+//! The request dispatcher: one [`DpcServer`] wraps a [`ModelStore`] and
+//! answers [`Request`]s against the store's current snapshot.
+//!
+//! Each request pins exactly one snapshot (one `Arc` clone) for its whole
+//! lifetime, so a background refit installed mid-request never mixes into the
+//! answer — the response's `epoch` field names the epoch every one of its
+//! fields came from. The server itself is stateless beyond the store, so one
+//! instance can be shared freely across threads (`&DpcServer` is all any
+//! worker needs).
+
+use std::sync::Arc;
+
+use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
+use dpc_geometry::Dataset;
+use dpc_parallel::Executor;
+
+use crate::assign::classify;
+use crate::request::{RelabelResponse, Request, Response, StatsResponse};
+use crate::snapshot::Snapshot;
+use crate::store::ModelStore;
+
+/// A clustering server: a [`ModelStore`] plus the request dispatch over it.
+pub struct DpcServer {
+    store: ModelStore,
+}
+
+impl DpcServer {
+    /// Fits `algo` on `data` and starts serving the result as epoch 1.
+    ///
+    /// # Errors
+    /// Propagates the underlying fit's [`DpcError`].
+    pub fn fit<A: DpcAlgorithm>(
+        algo: &A,
+        data: Dataset,
+        thresholds: Thresholds,
+        executor: &Executor,
+    ) -> Result<Self, DpcError> {
+        Ok(Self { store: ModelStore::fit(algo, data, thresholds, executor)? })
+    }
+
+    /// The underlying store — for writers that refit/install epochs while
+    /// readers keep calling [`DpcServer::handle`].
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// A handle to the current snapshot (see [`ModelStore::snapshot`]).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.snapshot()
+    }
+
+    /// Answers one request against the current snapshot.
+    ///
+    /// # Errors
+    /// Only [`Request::Assign`] can fail (malformed query point); `Relabel`
+    /// and `Stats` are infallible — `Thresholds` are validated at
+    /// construction, so by the time they arrive here they are in-domain.
+    pub fn handle(&self, request: &Request) -> Result<Response, DpcError> {
+        let snapshot = self.store.snapshot();
+        Self::handle_on(&snapshot, request)
+    }
+
+    /// Answers one request against an explicitly pinned snapshot — the
+    /// building block for clients that need several answers from the *same*
+    /// epoch (pin once, ask many times).
+    ///
+    /// # Errors
+    /// Same as [`DpcServer::handle`].
+    pub fn handle_on(snapshot: &Snapshot, request: &Request) -> Result<Response, DpcError> {
+        match request {
+            Request::Relabel(thresholds) => {
+                let clustering = snapshot.model().extract(thresholds);
+                Ok(Response::Relabel(RelabelResponse {
+                    epoch: snapshot.epoch(),
+                    n: snapshot.n(),
+                    thresholds: *thresholds,
+                    num_clusters: clustering.num_clusters(),
+                    noise_count: clustering.noise_count(),
+                    centers: clustering.centers,
+                }))
+            }
+            Request::Assign(point) => Ok(Response::Assign(classify(snapshot, point)?)),
+            Request::Stats => {
+                let clustering = snapshot.clustering();
+                Ok(Response::Stats(StatsResponse {
+                    epoch: snapshot.epoch(),
+                    n: snapshot.n(),
+                    dim: snapshot.dim(),
+                    algorithm: snapshot.model().algorithm(),
+                    dcut: snapshot.dcut(),
+                    thresholds: snapshot.thresholds(),
+                    num_clusters: clustering.num_clusters(),
+                    fit_timings: snapshot.fit_timings(),
+                    index_bytes: snapshot.index_bytes(),
+                }))
+            }
+        }
+    }
+
+    /// Answers a batch of requests, fanning the work across `executor`'s
+    /// workers (work-stealing over request indexes, so a mix of cheap `Stats`
+    /// and `O(n)` `Relabel`s balances itself). The whole batch is served from
+    /// one pinned snapshot: every response carries the same epoch even if a
+    /// refit lands mid-batch.
+    pub fn handle_batch(
+        &self,
+        requests: &[Request],
+        executor: &Executor,
+    ) -> Vec<Result<Response, DpcError>> {
+        let snapshot = self.store.snapshot();
+        executor.map_dynamic(requests.len(), |i| Self::handle_on(&snapshot, &requests[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::{DpcParams, ExDpc, NOISE};
+    use dpc_data::generators::gaussian_blobs;
+
+    fn server() -> DpcServer {
+        let data = gaussian_blobs(&[(0.0, 0.0), (60.0, 60.0), (0.0, 60.0)], 60, 2.0, 9);
+        DpcServer::fit(
+            &ExDpc::new(DpcParams::new(4.0)),
+            data,
+            Thresholds::new(2.0, 10.0).unwrap(),
+            &Executor::single(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relabel_sweeps_thresholds_without_refitting() {
+        let srv = server();
+        let loose = match srv.handle(&Request::Relabel(Thresholds::new(2.0, 10.0).unwrap())) {
+            Ok(Response::Relabel(r)) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(loose.num_clusters, 3);
+        assert_eq!(loose.epoch, 1);
+        assert_eq!(loose.n, 180);
+        // A δ_min above every finite δ keeps only the globally densest point.
+        let tight = match srv.handle(&Request::Relabel(Thresholds::new(2.0, 1e12).unwrap())) {
+            Ok(Response::Relabel(r)) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tight.num_clusters, 1);
+        assert_eq!(srv.epoch(), 1, "relabel never installs an epoch");
+    }
+
+    #[test]
+    fn stats_reports_the_serving_state() {
+        let srv = server();
+        let stats = match srv.handle(&Request::Stats) {
+            Ok(Response::Stats(s)) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.n, 180);
+        assert_eq!(stats.dim, 2);
+        assert_eq!(stats.algorithm, "Ex-DPC");
+        assert_eq!(stats.dcut, 4.0);
+        assert_eq!(stats.num_clusters, 3);
+        assert!(stats.index_bytes > 0);
+        assert!(stats.fit_timings.total_secs() >= 0.0);
+    }
+
+    #[test]
+    fn assign_errors_surface_without_poisoning_the_server() {
+        let srv = server();
+        let err = srv.handle(&Request::Assign(vec![1.0, 2.0, 3.0])).unwrap_err();
+        assert_eq!(err, DpcError::DimensionMismatch { what: "query point", expected: 2, got: 3 });
+        // The server still answers afterwards.
+        assert!(srv.handle(&Request::Stats).is_ok());
+    }
+
+    #[test]
+    fn a_batch_is_served_from_exactly_one_epoch() {
+        let srv = server();
+        let requests: Vec<Request> = (0..20)
+            .map(|i| match i % 3 {
+                0 => Request::Stats,
+                1 => Request::Relabel(Thresholds::new(2.0, 10.0).unwrap()),
+                _ => Request::Assign(vec![0.5 * i as f64, 0.0]),
+            })
+            .collect();
+        let responses = srv.handle_batch(&requests, &Executor::new(4));
+        assert_eq!(responses.len(), 20);
+        for r in &responses {
+            assert_eq!(r.as_ref().unwrap().epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn assign_inherits_the_dependents_label() {
+        let srv = server();
+        let r = match srv.handle(&Request::Assign(vec![0.2, -0.3])) {
+            Ok(Response::Assign(r)) => r,
+            other => panic!("{other:?}"),
+        };
+        let snap = srv.snapshot();
+        let dep = r.dependent.expect("a near-blob query has a denser neighbour");
+        assert_eq!(r.label, snap.clustering().assignment[dep]);
+        assert_ne!(r.label, NOISE);
+    }
+}

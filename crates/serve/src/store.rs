@@ -1,0 +1,196 @@
+//! The epoch-swapped snapshot store.
+//!
+//! A [`ModelStore`] holds the current [`Snapshot`] behind an
+//! `Mutex<Arc<Snapshot>>`. Readers take the lock only long enough to clone
+//! the `Arc` (two reference-count operations — no request work, no fit work
+//! ever happens under the lock), so the store behaves lock-free-ish under
+//! read load: contention is bounded by the pointer clone, torn reads are
+//! impossible (the `Arc` swap is atomic under the lock), and replaced epochs
+//! drain naturally when their last in-flight reader finishes.
+//!
+//! Writers prepare the next epoch entirely outside the lock — fit the model,
+//! build the serving kd-tree, cache the default clustering — and then install
+//! it with a single pointer swap that also stamps the epoch number. Epochs
+//! are unique and monotonically increasing even when several writers race.
+
+use std::sync::{Arc, Mutex};
+
+use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
+use dpc_geometry::Dataset;
+use dpc_parallel::Executor;
+
+use crate::snapshot::Snapshot;
+
+/// Holds `Arc<Snapshot>`s behind an epoch/swap: readers clone the pointer,
+/// writers atomically replace it with a freshly fitted snapshot.
+pub struct ModelStore {
+    current: Mutex<Arc<Snapshot>>,
+}
+
+impl ModelStore {
+    /// Fits `algo` on `data` and opens the store at epoch 1.
+    ///
+    /// The executor drives the serving kd-tree construction (the fit itself
+    /// parallelises according to the algorithm's own `DpcParams::threads`).
+    ///
+    /// # Errors
+    /// Propagates every [`DpcError`] the underlying `fit` can produce
+    /// (invalid parameters, empty dataset, non-finite coordinates).
+    pub fn fit<A: DpcAlgorithm>(
+        algo: &A,
+        data: Dataset,
+        thresholds: Thresholds,
+        executor: &Executor,
+    ) -> Result<Self, DpcError> {
+        let data = Arc::new(data);
+        let model = algo.fit(&data)?;
+        let mut snapshot = Snapshot::new(data, model, thresholds, executor);
+        snapshot.epoch = 1;
+        Ok(Self { current: Mutex::new(Arc::new(snapshot)) })
+    }
+
+    /// The current snapshot. The internal lock is held only for the `Arc`
+    /// clone; the returned handle stays valid (and internally consistent —
+    /// it *is* one epoch) for as long as the caller keeps it, regardless of
+    /// how many refits are installed in the meantime.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.lock().expect("model store poisoned"))
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.lock().expect("model store poisoned").epoch
+    }
+
+    /// Fits `algo` on `data` and atomically installs the result as the next
+    /// epoch. All expensive work — the fit, the serving kd-tree build, the
+    /// cached extract — happens before the lock is taken; the critical
+    /// section is the epoch stamp plus one pointer swap. Returns the new
+    /// epoch number.
+    ///
+    /// Concurrent refits are safe: each installs atomically and receives a
+    /// distinct epoch; the store ends up at whichever installed last.
+    ///
+    /// # Errors
+    /// Propagates every [`DpcError`] of the underlying `fit`; on error the
+    /// store keeps serving the current epoch untouched.
+    pub fn refit<A: DpcAlgorithm>(
+        &self,
+        algo: &A,
+        data: Dataset,
+        thresholds: Thresholds,
+        executor: &Executor,
+    ) -> Result<u64, DpcError> {
+        let data = Arc::new(data);
+        let model = algo.fit(&data)?;
+        let snapshot = Snapshot::new(data, model, thresholds, executor);
+        Ok(self.install(snapshot))
+    }
+
+    /// Installs a prepared snapshot as the next epoch (stamping its epoch
+    /// number under the lock) and returns that epoch. Exposed for callers
+    /// that build snapshots themselves — e.g. from a model fitted elsewhere.
+    pub fn install(&self, mut snapshot: Snapshot) -> u64 {
+        let mut current = self.current.lock().expect("model store poisoned");
+        let epoch = current.epoch + 1;
+        snapshot.epoch = epoch;
+        *current = Arc::new(snapshot);
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::{DpcParams, ExDpc};
+    use dpc_data::generators::gaussian_blobs;
+
+    fn store_on(n_per_blob: usize) -> ModelStore {
+        let data = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0)], n_per_blob, 2.0, 11);
+        ModelStore::fit(
+            &ExDpc::new(DpcParams::new(4.0)),
+            data,
+            Thresholds::new(2.0, 10.0).unwrap(),
+            &Executor::single(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_opens_at_epoch_one() {
+        let store = store_on(50);
+        assert_eq!(store.epoch(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.n(), 100);
+    }
+
+    #[test]
+    fn refit_swaps_atomically_and_bumps_the_epoch() {
+        let store = store_on(50);
+        let old = store.snapshot();
+        let data2 = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0), (0.0, 50.0)], 40, 2.0, 5);
+        let epoch = store
+            .refit(
+                &ExDpc::new(DpcParams::new(4.0)),
+                data2,
+                Thresholds::new(2.0, 10.0).unwrap(),
+                &Executor::single(),
+            )
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(store.epoch(), 2);
+        let new = store.snapshot();
+        assert_eq!(new.n(), 120);
+        // The drained epoch stays fully usable for readers still holding it.
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(old.n(), 100);
+        assert_eq!(old.clustering().num_clusters(), 2);
+        assert_eq!(new.clustering().num_clusters(), 3);
+    }
+
+    #[test]
+    fn failed_refit_leaves_the_store_untouched() {
+        let store = store_on(30);
+        let err = store
+            .refit(
+                &ExDpc::new(DpcParams::new(4.0)),
+                Dataset::new(2),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+            )
+            .unwrap_err();
+        assert_eq!(err, DpcError::EmptyDataset);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.snapshot().n(), 60);
+    }
+
+    #[test]
+    fn epochs_are_unique_under_racing_writers() {
+        let store = store_on(20);
+        let epochs: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let data = gaussian_blobs(&[(0.0, 0.0)], 30 + w, 1.5, w as u64);
+                        store
+                            .refit(
+                                &ExDpc::new(DpcParams::new(3.0)),
+                                data,
+                                Thresholds::for_dcut(3.0),
+                                &Executor::single(),
+                            )
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "duplicate epochs handed out: {epochs:?}");
+        assert_eq!(store.epoch(), *epochs.iter().max().unwrap());
+    }
+}

@@ -1,90 +1,178 @@
-//! A sensor-analytics pipeline: cluster an 8-dimensional sensor-style dataset,
-//! use the noise labels as an anomaly detector, and export the result.
+//! A sensor-analytics *service*: a long-lived clustering server over a stream
+//! of 8-dimensional sensor readings.
 //!
 //! This mirrors the motivating applications of the paper (medical/neuroscience
-//! sensing, activity monitoring): the data is high-rate, heavily skewed, and
-//! must be clustered quickly enough to keep up with ingestion. S-Approx-DPC is
-//! used because a rough-but-fast result is acceptable for triage, and the
-//! fit/extract split lets the operator tighten or loosen the anomaly
-//! thresholds on a live model without recomputing anything expensive.
+//! sensing, activity monitoring) in the shape production actually wants: the
+//! model is fit on a window of readings and *served* — operators sweep the
+//! anomaly thresholds (`Relabel`), the ingest path classifies fresh readings
+//! against the live model (`Assign`), dashboards poll `Stats` — while a
+//! background writer refits on each new window and atomically swaps the
+//! snapshot. Readers never block on a refit and never see half an epoch:
+//! every response names the epoch it was computed from.
 //!
 //! ```text
 //! cargo run --release --example sensor_pipeline
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use fast_dpc::data::real::RealDataset;
 use fast_dpc::prelude::*;
 
+/// One ingestion window of sensor readings: the same underlying sensor
+/// distribution (fixed seed → fixed mode layout), with later windows larger —
+/// the stream accumulating. Each refit therefore genuinely changes the model
+/// (new n, new densities) while staying on the same physical process.
+fn window(w: usize) -> Dataset {
+    RealDataset::Sensor.generate_with(20_000 + 5_000 * w, 3)
+}
+
+/// Deterministic "sensor noise": a tiny per-coordinate offset so classified
+/// readings are near the fitted modes but (almost surely) not literally
+/// points of the fitted window.
+fn jiggle(k: u64) -> f64 {
+    let mut z = k.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
 fn main() -> Result<(), DpcError> {
-    // Surrogate of the paper's 8-d Sensor dataset (UCI gas-sensor array),
-    // trimmed to 50k readings so the example finishes in seconds.
-    let data = RealDataset::Sensor.generate_with(50_000, 3);
     let dcut = RealDataset::Sensor.default_dcut();
-    let params = DpcParams::new(dcut).with_threads(4);
+    let params = DpcParams::new(dcut).with_threads(2);
     let thresholds = Thresholds::new(10.0, 3.0 * dcut)?;
+    let executor = Executor::new(2);
 
-    println!("sensor readings : {} x {}d", data.len(), data.dim());
+    // Epoch 1: fit the triage model on the first window and start serving.
+    // S-Approx-DPC (ε = 0.8) trades a little accuracy for refit speed —
+    // Table 5 of the paper shows the trade-off.
+    let algo = SApproxDpc::new(params).with_epsilon(0.8);
+    let first = window(0);
+    println!("sensor readings : {} x {}d per window", first.len(), first.dim());
+    let server = DpcServer::fit(&algo, first, thresholds, &executor)?;
+    let server = &server;
 
-    // Fast triage clustering: ε = 0.8 trades a little accuracy for speed
-    // (Table 5 of the paper shows the trade-off).
-    let start = std::time::Instant::now();
-    let triage_model = SApproxDpc::new(params).with_epsilon(0.8).fit(&data)?;
-    let triage = triage_model.extract(&thresholds);
-    println!(
-        "S-Approx-DPC: {} operating modes, {} anomalous readings, {:.2}s",
-        triage.num_clusters(),
-        triage.noise_count(),
-        start.elapsed().as_secs_f64()
-    );
+    // Fresh readings to classify, "arriving" while the service runs: drawn
+    // from the same sensor distribution, perturbed by measurement noise.
+    let incoming = window(2);
+    let incoming = &incoming;
 
-    // Detailed pass on demand: Approx-DPC returns the exact cluster centres.
-    let start = std::time::Instant::now();
-    let detailed_model = ApproxDpc::new(params).fit(&data)?;
-    let detailed = detailed_model.extract(&thresholds);
-    println!(
-        "Approx-DPC  : {} operating modes, {} anomalous readings, {:.2}s",
-        detailed.num_clusters(),
-        detailed.noise_count(),
-        start.elapsed().as_secs_f64()
-    );
-    println!(
-        "triage vs detailed agreement (Rand index): {:.3}",
-        rand_index(triage.labels(), detailed.labels())
-    );
+    let writer_done = AtomicBool::new(false);
+    let writer_done = &writer_done;
 
-    // Operator knob: raise ρ_min to flag more readings as anomalous. Each
-    // setting is an O(n) extract on the model already in memory.
-    let start = std::time::Instant::now();
-    print!("anomaly sensitivity sweep (rho_min -> anomalies):");
-    for rho_min in [5.0, 10.0, 20.0, 40.0] {
-        let c = detailed_model.extract(&Thresholds::new(rho_min, 3.0 * dcut)?);
-        print!("  {rho_min}->{}", c.noise_count());
+    std::thread::scope(|scope| {
+        // Background writer: refit on each new window, swap atomically.
+        let writer = scope.spawn(move || {
+            for w in 1..=2 {
+                let refit = std::time::Instant::now();
+                let epoch = server
+                    .store()
+                    .refit(&algo, window(w), thresholds, &Executor::new(2))
+                    .expect("refit");
+                println!(
+                    "[writer]     installed epoch {epoch} (window {w}, {:.2}s fit+build)",
+                    refit.elapsed().as_secs_f64()
+                );
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        // Ingest path: classify fresh readings against whatever epoch is
+        // live (until the writer finishes, so the stream spans the refits);
+        // noise labels are the anomaly signal.
+        let classifiers: Vec<_> = (0..2)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut anomalies = 0usize;
+                    let mut classified = 0usize;
+                    let mut first_epoch = u64::MAX;
+                    let mut last_epoch = 0u64;
+                    let mut i = c as u64;
+                    loop {
+                        let done = writer_done.load(Ordering::Acquire);
+                        let base = incoming.point((i % incoming.len() as u64) as usize);
+                        let reading: Vec<f64> = base
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &v)| v + jiggle(i * 8 + j as u64) * 0.05 * dcut)
+                            .collect();
+                        match server.handle(&Request::Assign(reading)).expect("assign") {
+                            Response::Assign(a) => {
+                                classified += 1;
+                                anomalies += usize::from(a.label == NOISE);
+                                first_epoch = first_epoch.min(a.epoch);
+                                last_epoch = last_epoch.max(a.epoch);
+                            }
+                            other => unreachable!("{other:?}"),
+                        }
+                        i += 2;
+                        if done {
+                            break;
+                        }
+                    }
+                    println!(
+                        "[classifier {c}] {classified} readings, {anomalies} anomalous \
+                         ({:.1}%), epochs {first_epoch}..={last_epoch}",
+                        100.0 * anomalies as f64 / classified as f64
+                    );
+                    (classified, anomalies)
+                })
+            })
+            .collect();
+
+        // Operator console: sweep the anomaly sensitivity on the live model —
+        // each setting is one O(n) relabel on the current snapshot, even
+        // while the writer is mid-refit.
+        scope.spawn(move || {
+            let mut sweeps = 0usize;
+            while !writer_done.load(Ordering::Acquire) {
+                for rho_min in [5.0, 10.0, 20.0, 40.0] {
+                    let t = Thresholds::new(rho_min, 3.0 * dcut).expect("sweep thresholds");
+                    match server.handle(&Request::Relabel(t)).expect("relabel") {
+                        Response::Relabel(r) => {
+                            if sweeps == 0 {
+                                println!(
+                                    "[operator]   epoch {}: rho_min {rho_min} -> {} modes, {} anomalies",
+                                    r.epoch, r.num_clusters, r.noise_count
+                                );
+                            }
+                        }
+                        other => unreachable!("{other:?}"),
+                    }
+                }
+                sweeps += 4;
+            }
+            println!("[operator]   {sweeps} threshold sweeps served during the refits");
+        });
+
+        writer.join().expect("writer");
+        let (classified, anomalies) = classifiers
+            .into_iter()
+            .map(|c| c.join().expect("classifier"))
+            .fold((0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
+        println!("ingest total : {classified} readings classified, {anomalies} anomalous");
+    });
+
+    // The service has drained to its final epoch; report its state.
+    match server.handle(&Request::Stats)? {
+        Response::Stats(s) => {
+            println!(
+                "final state  : epoch {} | {} readings x {}d | {} modes | {} ({:.1} MiB) index | fit {:.2}s",
+                s.epoch,
+                s.n,
+                s.dim,
+                s.num_clusters,
+                s.algorithm,
+                s.index_bytes as f64 / (1024.0 * 1024.0),
+                s.fit_timings.total_secs()
+            );
+        }
+        other => unreachable!("{other:?}"),
     }
-    println!("  [{:.3}s for all four]", start.elapsed().as_secs_f64());
 
-    // Downstream consumers: per-mode summary and the anomaly list.
-    println!("\nper-mode summary (detailed pass):");
-    for k in 0..detailed.num_clusters() {
-        let members = detailed.members(k);
-        let densest = detailed.centers[k];
-        println!(
-            "  mode {k:>2}: {:>6} readings, representative reading id {densest}",
-            members.len()
-        );
-    }
-    let anomalies: Vec<usize> = detailed
-        .labels()
-        .iter()
-        .enumerate()
-        .filter(|(_, &l)| l == NOISE)
-        .map(|(i, _)| i)
-        .take(10)
-        .collect();
-    println!("first anomalous reading ids: {anomalies:?}");
-
-    // Export labelled readings for the dashboard.
+    // Export the final epoch's labelling for the dashboard.
+    let snapshot = server.snapshot();
     let out = std::env::temp_dir().join("sensor_modes.csv");
-    fast_dpc::data::io::write_labeled(&out, &data, detailed.labels())
+    fast_dpc::data::io::write_labeled(&out, snapshot.data(), snapshot.clustering().labels())
         .expect("failed to write labelled readings");
     println!("labelled readings written to {}", out.display());
     Ok(())

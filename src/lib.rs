@@ -47,6 +47,16 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Serving
+//!
+//! The [`serve`] module (crate `dpc-serve`) packages the workflow for a
+//! long-lived process: a [`ModelStore`](dpc_serve::ModelStore) swaps
+//! immutable fitted snapshots behind an epoch counter, and a
+//! [`DpcServer`](dpc_serve::DpcServer) answers typed
+//! [`Request`](dpc_serve::Request)s (`Relabel`, `Assign`, `Stats`) from many
+//! threads while refits install in the background. See
+//! `examples/sensor_pipeline.rs` and `crates/serve/README.md`.
 
 pub use dpc_baselines as baselines;
 pub use dpc_core as core;
@@ -56,6 +66,7 @@ pub use dpc_geometry as geometry;
 pub use dpc_index as index;
 pub use dpc_parallel as parallel;
 pub use dpc_rng as rng;
+pub use dpc_serve as serve;
 
 /// Convenience re-exports covering the common workflow: generate or load a
 /// dataset, pick structural parameters, fit a model, extract clusterings at
@@ -69,4 +80,6 @@ pub mod prelude {
     pub use dpc_data::generators::{gaussian_blobs, random_walk, s_set};
     pub use dpc_eval::{adjusted_rand_index, rand_index};
     pub use dpc_geometry::{Dataset, Point};
+    pub use dpc_parallel::Executor;
+    pub use dpc_serve::{DpcServer, ModelStore, Request, Response, Snapshot};
 }
