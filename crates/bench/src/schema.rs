@@ -282,12 +282,15 @@ pub mod required {
         "fit_extract_s_approx_dpc",
         "extract_only",
     ];
-    /// `BENCH_serve.json` (`benches/serve.rs`): three workloads × worker
-    /// counts {1, 4, 8}, each with a throughput kernel (`min`/`mean` of the
-    /// per-repetition batch wall-clock) plus nearest-rank p50/p99 per-request
-    /// latency kernels. The worker counts are part of the kernel identity —
-    /// `--threads` only resizes the background refit executor, so every run
-    /// emits the same 27 kernels.
+    /// `BENCH_serve.json` (`benches/serve.rs`): three healthy workloads ×
+    /// worker counts {1, 4, 8}, each with a throughput kernel (`min`/`mean`
+    /// of the per-repetition batch wall-clock) plus nearest-rank p50/p99
+    /// per-request latency kernels; then the fault-injected mixed workload at
+    /// the same worker counts, plus three dimensionless rate kernels (shed /
+    /// timeout / degraded fractions in [0, 1], stored as `min = mean`). The
+    /// worker counts are part of the kernel identity — `--threads` only
+    /// resizes the background refit executor, so every run emits the same
+    /// 39 kernels.
     pub const SERVE: &[&str] = &[
         "serve_relabel_heavy_t1",
         "serve_relabel_heavy_t1_p50",
@@ -316,6 +319,18 @@ pub mod required {
         "serve_mixed_t8",
         "serve_mixed_t8_p50",
         "serve_mixed_t8_p99",
+        "serve_faulty_mixed_t1",
+        "serve_faulty_mixed_t1_p50",
+        "serve_faulty_mixed_t1_p99",
+        "serve_faulty_mixed_t4",
+        "serve_faulty_mixed_t4_p50",
+        "serve_faulty_mixed_t4_p99",
+        "serve_faulty_mixed_t8",
+        "serve_faulty_mixed_t8_p50",
+        "serve_faulty_mixed_t8_p99",
+        "serve_faulty_shed_rate",
+        "serve_faulty_timeout_rate",
+        "serve_faulty_degraded_rate",
     ];
 }
 

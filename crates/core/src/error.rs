@@ -56,6 +56,15 @@ pub enum DpcError {
         /// Length actually provided.
         got: usize,
     },
+    /// An internal failure that is not the caller's fault: a panic converted
+    /// to an error at an isolation boundary (a supervised fit, a worker
+    /// task), an injected fault from a chaos harness, or a supervised
+    /// operation that exhausted its retry/deadline budget. Long-running
+    /// services report this instead of unwinding through shared state.
+    Internal {
+        /// What failed, e.g. `"fit panicked"` or `"injected fit failure"`.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for DpcError {
@@ -74,6 +83,7 @@ impl fmt::Display for DpcError {
             DpcError::DimensionMismatch { what, expected, got } => {
                 write!(f, "per-point array `{what}` has length {got}, expected {expected}")
             }
+            DpcError::Internal { what } => write!(f, "internal error: {what}"),
         }
     }
 }
@@ -103,6 +113,9 @@ mod tests {
         let e = DpcError::NonFiniteCoordinate { point: 17, axis: 2 };
         let msg = e.to_string();
         assert!(msg.contains("17") && msg.contains('2') && msg.contains("NaN"), "{msg}");
+
+        let e = DpcError::Internal { what: "fit panicked" };
+        assert!(e.to_string().contains("fit panicked"), "{e}");
     }
 
     #[test]

@@ -90,21 +90,32 @@ impl Thresholds {
     /// Creates validated thresholds: `ρ_min` must be finite and non-negative,
     /// `δ_min` must be positive and finite.
     pub fn new(rho_min: f64, delta_min: f64) -> Result<Self, DpcError> {
-        if !(rho_min.is_finite() && rho_min >= 0.0) {
+        let thresholds = Self { rho_min, delta_min };
+        thresholds.validate()?;
+        Ok(thresholds)
+    }
+
+    /// Re-checks the domain [`Thresholds::new`] enforces. The fields are
+    /// public (threshold sweeps mutate them freely), so values that bypassed
+    /// `new` — a corrupted request, a deserialized struct — can carry NaN or
+    /// negative thresholds; servers call this at the trust boundary and turn
+    /// a would-be-garbage extraction into [`DpcError::InvalidThresholds`].
+    pub fn validate(&self) -> Result<(), DpcError> {
+        if !(self.rho_min.is_finite() && self.rho_min >= 0.0) {
             return Err(DpcError::InvalidThresholds {
                 param: "rho_min",
-                value: rho_min,
+                value: self.rho_min,
                 requirement: "must be non-negative and finite",
             });
         }
-        if !(delta_min.is_finite() && delta_min > 0.0) {
+        if !(self.delta_min.is_finite() && self.delta_min > 0.0) {
             return Err(DpcError::InvalidThresholds {
                 param: "delta_min",
-                value: delta_min,
+                value: self.delta_min,
                 requirement: "must be positive and finite",
             });
         }
-        Ok(Self { rho_min, delta_min })
+        Ok(())
     }
 
     /// The seed API's default thresholds for a cutoff distance: no noise
@@ -181,6 +192,23 @@ mod tests {
                 "{err:?}"
             );
         }
+    }
+
+    #[test]
+    fn validate_catches_values_that_bypassed_new() {
+        // Public fields allow construction that `new` would refuse; `validate`
+        // re-runs exactly the same domain checks.
+        let corrupt = Thresholds { rho_min: f64::NAN, delta_min: 1.0 };
+        assert!(matches!(
+            corrupt.validate().unwrap_err(),
+            DpcError::InvalidThresholds { param: "rho_min", .. }
+        ));
+        let corrupt = Thresholds { rho_min: 0.0, delta_min: -3.0 };
+        assert!(matches!(
+            corrupt.validate().unwrap_err(),
+            DpcError::InvalidThresholds { param: "delta_min", .. }
+        ));
+        assert!(Thresholds::new(1.0, 2.0).unwrap().validate().is_ok());
     }
 
     #[test]

@@ -4,6 +4,20 @@
 //! so the executor spawns scoped worker threads per region instead of keeping a
 //! long-lived pool: there is no `'static` requirement on closures, no channel
 //! plumbing, and the single-threaded configuration runs completely inline.
+//!
+//! # Panic semantics
+//!
+//! Every primitive has the same contract: **a panic inside a task is resumed
+//! exactly once on the calling thread with its original payload** (message and
+//! location preserved), after all sibling workers of the region have been
+//! joined — never a hang, never a silent abort, never a secondhand
+//! `"worker thread panicked"` message that loses the payload. When several
+//! workers panic in one region, the first observed (in spawn order) wins and
+//! the other payloads are dropped. On a single-threaded executor the closure
+//! runs inline, so its panic propagates natively — the two configurations are
+//! indistinguishable to a caller. Callers that must not unwind (servers,
+//! batch handlers) wrap the *call* in [`std::panic::catch_unwind`] and get
+//! every worker panic funnelled to that one bracket.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -71,6 +85,12 @@ impl Executor {
     /// `⌈log₂ threads⌉` levels of the recursion, run everything below them
     /// inline). The packed kd-tree build in `dpc-index` is the canonical
     /// user.
+    ///
+    /// # Panics
+    /// A panic in either closure is resumed on the calling thread with its
+    /// original payload after the forked side has been joined (see the module
+    /// docs for the region-wide contract). If both closures panic, `a`'s
+    /// payload unwinds and `b`'s is dropped.
     pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
     where
         RA: Send,
@@ -106,8 +126,13 @@ impl Executor {
     /// gets a static block schedule; the per-task work must therefore be
     /// roughly balanced — which shard-sized decompositions are by
     /// construction. On a single-threaded executor every task runs inline, in
-    /// index order, with no spawn and no synchronisation. Any panic inside a
-    /// task is re-raised on the calling thread with its original payload.
+    /// index order, with no spawn and no synchronisation.
+    ///
+    /// # Panics
+    /// The first panicking task's payload (in spawn order) is resumed on the
+    /// calling thread after every worker has been joined; remaining tasks in
+    /// the panicking worker's bucket are skipped, tasks on other workers run
+    /// to completion.
     ///
     /// Unlike [`Executor::map_chunks`], which hands out index *ranges* to a
     /// shared `Fn`, this primitive takes owning `FnOnce` closures — the shape
@@ -148,6 +173,11 @@ impl Executor {
     /// Runs `f(i)` for every `i in 0..n` with dynamic self-scheduling: idle
     /// workers repeatedly claim the next unprocessed index from a shared
     /// counter. Equivalent to `#pragma omp parallel for schedule(dynamic)`.
+    ///
+    /// # Panics
+    /// The first panicking worker's payload is resumed on the calling thread
+    /// once the region has been joined (module docs); indexes the panicking
+    /// worker had claimed but not reached are skipped.
     pub fn for_each_dynamic<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -165,23 +195,36 @@ impl Executor {
         let workers = self.threads.min(n);
         let chunk = dynamic_chunk(n, workers);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    for i in start..end {
-                        f(i);
-                    }
-                });
+            // Handles are joined explicitly so a worker panic is resumed with
+            // its original payload — the scope's implicit join would replace
+            // it with a generic "a scoped thread panicked" message.
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            f(i);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                join_or_resume(handle);
             }
         });
     }
 
     /// Computes `f(i)` for every `i in 0..n` with dynamic self-scheduling and
     /// returns the results in index order.
+    ///
+    /// # Panics
+    /// The first panicking worker's payload is resumed on the calling thread
+    /// once the region has been joined (module docs); no partial result vector
+    /// is ever observable.
     pub fn map_dynamic<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -217,7 +260,7 @@ impl Executor {
                 })
                 .collect();
             for handle in handles {
-                partials.push(handle.join().expect("worker thread panicked"));
+                partials.push(join_or_resume(handle));
             }
         });
         scatter(n, partials)
@@ -228,6 +271,10 @@ impl Executor {
     /// partitioning, §4.5 of the paper). Returns results in index order together
     /// with the partition that was used, so callers can report load-balance
     /// statistics.
+    ///
+    /// # Panics
+    /// The first panicking worker's payload (in spawn order) is resumed on the
+    /// calling thread once the region has been joined (module docs).
     pub fn map_partitioned<R, F>(&self, costs: &[f64], f: F) -> (Vec<R>, Partition)
     where
         R: Send,
@@ -250,7 +297,7 @@ impl Executor {
                 .map(|group| scope.spawn(|| group.iter().map(|&i| (i, f(i))).collect::<Vec<_>>()))
                 .collect();
             for handle in handles {
-                partials.push(handle.join().expect("worker thread panicked"));
+                partials.push(join_or_resume(handle));
             }
         });
         (scatter(n, partials), partition)
@@ -259,6 +306,10 @@ impl Executor {
     /// Splits `0..n` into `threads` contiguous chunks and runs `f(chunk_range)`
     /// on each. Useful for reductions where every item costs roughly the same
     /// (sorting partitions, building per-subset kd-trees, ...).
+    ///
+    /// # Panics
+    /// The first panicking worker's payload (in spawn order) is resumed on the
+    /// calling thread once the region has been joined (module docs).
     pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -283,10 +334,19 @@ impl Executor {
                 })
                 .collect();
             for handle in handles {
-                out.push(handle.join().expect("worker thread panicked"));
+                out.push(join_or_resume(handle));
             }
         });
         out
+    }
+}
+
+/// Joins a scoped worker, resuming its panic payload on the calling thread —
+/// the single point that implements the module-level panic contract.
+fn join_or_resume<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }
 
@@ -500,6 +560,107 @@ mod tests {
         ex.join(|| left.iter_mut().for_each(|v| *v = 1), || right.iter_mut().for_each(|v| *v = 2));
         assert!(left.iter().all(|&v| v == 1));
         assert!(right.iter().all(|&v| v == 2));
+    }
+
+    /// The module-level panic contract, exercised across every primitive at
+    /// the ISSUE-mandated thread counts: the caller catches the *original*
+    /// payload (message preserved), sibling workers are joined first, and the
+    /// executor stays usable afterwards.
+    #[test]
+    fn worker_panics_resume_on_the_caller_with_their_payload() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+            payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string payload>")
+        }
+
+        type Region<'a> = Box<dyn Fn() + 'a>;
+
+        for threads in [1usize, 4] {
+            let ex = Executor::new(threads);
+            let regions: Vec<(&str, Region<'_>)> = vec![
+                (
+                    "join",
+                    Box::new(|| {
+                        let _ = ex.join(|| 1, || -> i32 { panic!("boom join") });
+                    }),
+                ),
+                (
+                    "fan_out",
+                    Box::new(|| {
+                        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                            .map(|i| -> Box<dyn FnOnce() + Send> {
+                                if i == 5 {
+                                    Box::new(|| panic!("boom fan_out"))
+                                } else {
+                                    Box::new(|| ())
+                                }
+                            })
+                            .collect();
+                        ex.fan_out(tasks);
+                    }),
+                ),
+                (
+                    "for_each_dynamic",
+                    Box::new(|| {
+                        ex.for_each_dynamic(64, |i| {
+                            if i == 13 {
+                                panic!("boom for_each_dynamic")
+                            }
+                        })
+                    }),
+                ),
+                (
+                    "map_dynamic",
+                    Box::new(|| {
+                        drop(ex.map_dynamic(64, |i| {
+                            if i == 13 {
+                                panic!("boom map_dynamic")
+                            }
+                            i
+                        }))
+                    }),
+                ),
+                (
+                    "map_partitioned",
+                    Box::new(|| {
+                        let costs = vec![1.0; 64];
+                        drop(ex.map_partitioned(&costs, |i| {
+                            if i == 13 {
+                                panic!("boom map_partitioned")
+                            }
+                            i
+                        }))
+                    }),
+                ),
+                (
+                    "map_chunks",
+                    Box::new(|| {
+                        drop(ex.map_chunks(64, |r| {
+                            if r.contains(&13) {
+                                panic!("boom map_chunks")
+                            }
+                            r.len()
+                        }))
+                    }),
+                ),
+            ];
+            for (name, region) in regions {
+                let payload = catch_unwind(AssertUnwindSafe(region))
+                    .expect_err(&format!("{name} at threads {threads} must propagate the panic"));
+                assert_eq!(
+                    payload_str(payload.as_ref()),
+                    format!("boom {name}"),
+                    "threads {threads}"
+                );
+            }
+            // The executor is a plain value; a panicked region must not wedge it.
+            assert_eq!(ex.map_dynamic(8, |i| i).len(), 8);
+        }
     }
 
     #[test]

@@ -28,11 +28,13 @@
 
 use dpc_core::{DpcError, NOISE};
 
+use crate::error::{Deadline, ServeError};
 use crate::request::AssignResponse;
 use crate::snapshot::Snapshot;
 
 /// Classifies `point` against `snapshot`. See the module docs for the exact
-/// density/dependent/label semantics.
+/// density/dependent/label semantics. Equivalent to [`classify_within`] with
+/// no deadline.
 ///
 /// # Errors
 /// * [`DpcError::DimensionMismatch`] when `point` is not `snapshot.dim()`
@@ -41,15 +43,38 @@ use crate::snapshot::Snapshot;
 ///   (non-finite queries would silently defeat the kd-tree's bounding-box
 ///   pruning and return a wrong density instead of failing).
 pub fn classify(snapshot: &Snapshot, point: &[f64]) -> Result<AssignResponse, DpcError> {
+    classify_within(snapshot, point, &Deadline::none()).map_err(|e| match e {
+        ServeError::Dpc(e) => e,
+        // Without a deadline the only failures are the Dpc validation errors.
+        other => unreachable!("deadline-free classify cannot fail with {other:?}"),
+    })
+}
+
+/// [`classify`] under a per-request time budget: the deadline is checked once
+/// up front and then at the top of every expanding-radius round — the
+/// phase boundaries where abandoning the search costs nothing. A request that
+/// trips the deadline returns [`ServeError::DeadlineExceeded`] and **no**
+/// partial answer.
+///
+/// # Errors
+/// The [`classify`] validation errors (wrapped in [`ServeError::Dpc`]), plus
+/// [`ServeError::DeadlineExceeded`].
+pub fn classify_within(
+    snapshot: &Snapshot,
+    point: &[f64],
+    deadline: &Deadline,
+) -> Result<AssignResponse, ServeError> {
+    deadline.check()?;
     if point.len() != snapshot.dim() {
         return Err(DpcError::DimensionMismatch {
             what: "query point",
             expected: snapshot.dim(),
             got: point.len(),
-        });
+        }
+        .into());
     }
     if let Some(axis) = point.iter().position(|c| !c.is_finite()) {
-        return Err(DpcError::NonFiniteCoordinate { point: 0, axis });
+        return Err(DpcError::NonFiniteCoordinate { point: 0, axis }.into());
     }
 
     let model = snapshot.model();
@@ -87,6 +112,9 @@ pub fn classify(snapshot: &Snapshot, point: &[f64]) -> Result<AssignResponse, Dp
     let mut radius = nn_dist.max(snapshot.dcut());
     let mut ball = Vec::new();
     let (dependent, delta) = loop {
+        // Each round multiplies the searched volume, so checking here bounds
+        // the wasted work to one round past the budget.
+        deadline.check()?;
         ball.clear();
         tree.range_search_into(point, radius, &mut ball);
         let best = ball
@@ -185,6 +213,19 @@ mod tests {
         assert_eq!(r.dependent, None);
         assert_eq!(r.label, NOISE, "no dependent point to inherit a label from");
         assert!(r.would_be_center, "ρ ≥ 0 and δ = ∞ ≥ δ_min");
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_classification_with_no_partial_answer() {
+        let snap = snapshot();
+        let expired = Deadline::start(Some(std::time::Duration::ZERO));
+        let err = classify_within(&snap, &[0.5, -0.5], &expired).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
+        // A generous deadline changes nothing about the answer.
+        let generous = Deadline::start(Some(std::time::Duration::from_secs(3600)));
+        let within = classify_within(&snap, &[0.5, -0.5], &generous).unwrap();
+        let free = classify(&snap, &[0.5, -0.5]).unwrap();
+        assert_eq!(within, free);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Deterministic fault injection for chaos-testing the serving path.
+//!
+//! The serving layer promises to survive failing fits, panicking handlers,
+//! slow requests and corrupted inputs. Those promises are only testable if
+//! the faults can be *produced on demand* — and only debuggable if a failing
+//! chaos run can be replayed exactly. This module provides both:
+//!
+//! * [`FaultPoint`] names every place the serving stack can be made to fail;
+//! * [`FaultPlan`] is a value describing *how often* each point fires, plus
+//!   the seed that makes the schedule deterministic;
+//! * [`FaultInjector`] is the shared runtime object the server and the
+//!   supervised refit path consult at each injection point;
+//! * [`FaultyAlgorithm`] wraps any [`DpcAlgorithm`] so refits hit the
+//!   fit-side points without the store knowing anything about faults.
+//!
+//! # Determinism under thread nondeterminism
+//!
+//! A naive shared RNG would make the fault schedule depend on thread
+//! interleaving: whichever request happens to draw next gets the next random
+//! number. Instead each injection point keeps an arrival counter, and the
+//! decision for the `k`-th arrival at point `p` is the *pure function*
+//! `mix(seed, p, k) < rate` — a [`splitmix64`] hash of `(seed, point, k)`
+//! mapped to `[0, 1)`. Threads may interleave arbitrarily; the multiset of
+//! decisions handed out for a given `(seed, rates)` plan is always the same,
+//! so a chaos run is reproducible from its printed seed alone.
+//!
+//! Injectors start **armed**. [`FaultInjector::disarm`] turns every point off
+//! (and stops counting arrivals) so tests can end the storm and assert
+//! recovery.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpc_core::{DpcAlgorithm, DpcError, DpcModel};
+use dpc_geometry::Dataset;
+use dpc_rng::splitmix64;
+
+/// Number of [`FaultPoint`] variants; sizes the per-point counter arrays.
+const POINTS: usize = 6;
+
+/// A named place in the serving stack where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// `fit` returns `Err(DpcError::Internal)` instead of a model.
+    FitError,
+    /// `fit` panics (exercises the refit supervisor's `catch_unwind`).
+    FitPanic,
+    /// `fit` sleeps for [`FaultPlan::slow_fit`] before running (exercises the
+    /// refit deadline).
+    SlowFit,
+    /// Request handling sleeps for [`FaultPlan::slow_request`] before
+    /// dispatch (exercises per-request deadlines and the admission cap).
+    SlowRequest,
+    /// Request handling panics (exercises the per-request `catch_unwind`).
+    RequestPanic,
+    /// The *client side* of a chaos test should corrupt the thresholds of its
+    /// next relabel request (NaN/negative fields built by struct literal,
+    /// bypassing `Thresholds::new`). The server never consults this point —
+    /// it models a malicious or buggy client, not a server fault.
+    CorruptThresholds,
+}
+
+impl FaultPoint {
+    /// Dense index for the counter arrays.
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::FitError => 0,
+            FaultPoint::FitPanic => 1,
+            FaultPoint::SlowFit => 2,
+            FaultPoint::SlowRequest => 3,
+            FaultPoint::RequestPanic => 4,
+            FaultPoint::CorruptThresholds => 5,
+        }
+    }
+
+    /// Per-point salt so the same arrival number at different points draws
+    /// independent decisions.
+    fn salt(self) -> u64 {
+        // Arbitrary distinct odd constants; part of the replay contract, so
+        // changing them invalidates recorded chaos seeds.
+        [
+            0x9d5c_41f7_12a3_8b61,
+            0x6a09_e667_f3bc_c909,
+            0xbb67_ae85_84ca_a73b,
+            0x3c6e_f372_fe94_f82b,
+            0xa54f_f53a_5f1d_36f1,
+            0x510e_527f_ade6_82d1,
+        ][self.index()]
+    }
+}
+
+/// A declarative fault schedule: per-point firing rates, the delays injected
+/// by the slow points, and the seed that makes it all replayable.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the deterministic per-arrival decision function.
+    pub seed: u64,
+    /// Firing probability per point, indexed by [`FaultPoint`].
+    rates: [f64; POINTS],
+    /// Sleep injected by [`FaultPoint::SlowFit`].
+    pub slow_fit: Duration,
+    /// Sleep injected by [`FaultPoint::SlowRequest`].
+    pub slow_request: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero (nothing fires) and short default
+    /// delays; chain `with_rate` / `with_slow_*` to describe the storm.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: [0.0; POINTS],
+            slow_fit: Duration::from_millis(5),
+            slow_request: Duration::from_millis(5),
+        }
+    }
+
+    /// Sets one point's firing probability (clamped to `[0, 1]`; NaN → 0).
+    pub fn with_rate(mut self, point: FaultPoint, rate: f64) -> Self {
+        self.rates[point.index()] = if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) };
+        self
+    }
+
+    /// Sets the same firing probability for every point.
+    pub fn with_uniform_rate(mut self, rate: f64) -> Self {
+        let clamped = if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) };
+        self.rates = [clamped; POINTS];
+        self
+    }
+
+    /// Sets the delay injected by [`FaultPoint::SlowFit`].
+    pub fn with_slow_fit(mut self, delay: Duration) -> Self {
+        self.slow_fit = delay;
+        self
+    }
+
+    /// Sets the delay injected by [`FaultPoint::SlowRequest`].
+    pub fn with_slow_request(mut self, delay: Duration) -> Self {
+        self.slow_request = delay;
+        self
+    }
+
+    /// This plan's firing probability for `point`.
+    pub fn rate(&self, point: FaultPoint) -> f64 {
+        self.rates[point.index()]
+    }
+
+    /// Whether the `k`-th arrival at `point` fires under this plan — the pure
+    /// decision function at the heart of replayability. Exposed so tests can
+    /// predict exactly which arrivals a seed will fault.
+    pub fn decides(&self, point: FaultPoint, k: u64) -> bool {
+        let mut state = self.seed ^ point.salt() ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let unit = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.rates[point.index()]
+    }
+}
+
+/// Shared runtime fault schedule: the object the server, the supervised refit
+/// path and [`FaultyAlgorithm`] consult. Cheap enough to check on every
+/// request (one relaxed load when disarmed, one `fetch_add` plus a hash when
+/// armed); all methods take `&self`, so one `Arc<FaultInjector>` is shared by
+/// every thread of a chaos run.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Arrivals observed per point while armed.
+    arrivals: [AtomicU64; POINTS],
+    /// Decisions that came back "fire" per point.
+    fired: [AtomicU64; POINTS],
+    armed: AtomicBool,
+}
+
+impl FaultInjector {
+    /// Creates an armed injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            arrivals: Default::default(),
+            fired: Default::default(),
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Convenience: an armed injector wrapped in the [`Arc`] every consumer
+    /// wants.
+    pub fn shared(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(Self::new(plan))
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the `k`-th arrival at `point` fires; this call *is* the
+    /// arrival (the counter advances). Disarmed injectors neither count nor
+    /// fire, so post-storm traffic leaves the replay schedule untouched.
+    pub fn fires(&self, point: FaultPoint) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let k = self.arrivals[point.index()].fetch_add(1, Ordering::Relaxed);
+        let fire = self.plan.decides(point, k);
+        if fire {
+            self.fired[point.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Sleeps for the plan's delay if `point` fires. Only meaningful for
+    /// [`FaultPoint::SlowFit`] and [`FaultPoint::SlowRequest`].
+    pub fn maybe_sleep(&self, point: FaultPoint) {
+        if self.fires(point) {
+            let delay = match point {
+                FaultPoint::SlowFit => self.plan.slow_fit,
+                FaultPoint::SlowRequest => self.plan.slow_request,
+                _ => return,
+            };
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Turns every point off; subsequent [`FaultInjector::fires`] calls
+    /// return `false` without counting. Used to end a storm and observe
+    /// recovery.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+
+    /// Re-arms a disarmed injector; counters continue from where they were.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the injector is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// `(arrivals, fired)` observed at `point` so far — the numbers a chaos
+    /// test prints next to its seed.
+    pub fn stats(&self, point: FaultPoint) -> (u64, u64) {
+        let i = point.index();
+        (self.arrivals[i].load(Ordering::Relaxed), self.fired[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Wraps a [`DpcAlgorithm`] so every `fit` consults the injector's fit-side
+/// points first: a firing [`FaultPoint::SlowFit`] sleeps, a firing
+/// [`FaultPoint::FitPanic`] panics, a firing [`FaultPoint::FitError`] returns
+/// `Err` — otherwise the inner algorithm runs untouched. The refit supervisor
+/// sees an ordinary algorithm; all chaos lives in the wrapper.
+#[derive(Clone, Debug)]
+pub struct FaultyAlgorithm<A> {
+    inner: A,
+    faults: Arc<FaultInjector>,
+}
+
+impl<A> FaultyAlgorithm<A> {
+    /// Wraps `inner` so its `fit` consults `faults`.
+    pub fn new(inner: A, faults: Arc<FaultInjector>) -> Self {
+        Self { inner, faults }
+    }
+}
+
+impl<A: DpcAlgorithm> DpcAlgorithm for FaultyAlgorithm<A> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn fit(&self, data: &Dataset) -> Result<DpcModel, DpcError> {
+        self.faults.maybe_sleep(FaultPoint::SlowFit);
+        if self.faults.fires(FaultPoint::FitPanic) {
+            panic!("injected fit panic");
+        }
+        if self.faults.fires(FaultPoint::FitError) {
+            return Err(DpcError::Internal { what: "injected fit failure" });
+        }
+        self.inner.fit(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_point_and_arrival() {
+        let plan = FaultPlan::new(42).with_uniform_rate(0.3);
+        let again = FaultPlan::new(42).with_uniform_rate(0.3);
+        for k in 0..1000 {
+            assert_eq!(
+                plan.decides(FaultPoint::FitError, k),
+                again.decides(FaultPoint::FitError, k)
+            );
+        }
+        // Different points draw independent streams from the same seed.
+        let a: Vec<bool> = (0..256).map(|k| plan.decides(FaultPoint::FitError, k)).collect();
+        let b: Vec<bool> = (0..256).map(|k| plan.decides(FaultPoint::FitPanic, k)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_the_plan() {
+        let plan = FaultPlan::new(7).with_rate(FaultPoint::SlowRequest, 0.10);
+        let n = 20_000u64;
+        let fired = (0..n).filter(|&k| plan.decides(FaultPoint::SlowRequest, k)).count() as f64;
+        let rate = fired / n as f64;
+        assert!((rate - 0.10).abs() < 0.01, "observed {rate}");
+        // Rate 0 never fires, rate 1 always fires.
+        let never = FaultPlan::new(7);
+        assert!((0..1000).all(|k| !never.decides(FaultPoint::FitError, k)));
+        let always = FaultPlan::new(7).with_rate(FaultPoint::FitError, 1.0);
+        assert!((0..1000).all(|k| always.decides(FaultPoint::FitError, k)));
+    }
+
+    #[test]
+    fn injector_schedule_is_interleaving_independent() {
+        // Two injectors on the same plan, hit by different thread counts,
+        // hand out the same multiset of decisions (same fired count for the
+        // same number of arrivals).
+        let plan = FaultPlan::new(99).with_rate(FaultPoint::RequestPanic, 0.25);
+        let total = 4096u64;
+        let mut counts = Vec::new();
+        for threads in [1usize, 4] {
+            let inj = FaultInjector::shared(plan.clone());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let inj = Arc::clone(&inj);
+                    let per = total / threads as u64;
+                    scope.spawn(move || {
+                        for _ in 0..per {
+                            inj.fires(FaultPoint::RequestPanic);
+                        }
+                    });
+                }
+            });
+            let (arrivals, fired) = inj.stats(FaultPoint::RequestPanic);
+            assert_eq!(arrivals, total);
+            counts.push(fired);
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn disarm_stops_firing_and_counting() {
+        let inj = FaultInjector::new(FaultPlan::new(5).with_rate(FaultPoint::FitError, 1.0));
+        assert!(inj.fires(FaultPoint::FitError));
+        inj.disarm();
+        assert!(!inj.is_armed());
+        assert!(!inj.fires(FaultPoint::FitError));
+        assert_eq!(inj.stats(FaultPoint::FitError), (1, 1));
+        inj.arm();
+        assert!(inj.fires(FaultPoint::FitError));
+        assert_eq!(inj.stats(FaultPoint::FitError), (2, 2));
+    }
+
+    #[test]
+    fn rates_are_sanitised() {
+        let plan = FaultPlan::new(1)
+            .with_rate(FaultPoint::FitError, f64::NAN)
+            .with_rate(FaultPoint::FitPanic, -3.0)
+            .with_rate(FaultPoint::SlowFit, 7.0);
+        assert_eq!(plan.rate(FaultPoint::FitError), 0.0);
+        assert_eq!(plan.rate(FaultPoint::FitPanic), 0.0);
+        assert_eq!(plan.rate(FaultPoint::SlowFit), 1.0);
+    }
+
+    #[test]
+    fn faulty_algorithm_injects_each_fit_outcome() {
+        /// Inner algorithm that records whether it ran and always fails with
+        /// a recognisable error, so delegation is observable.
+        #[derive(Debug)]
+        struct Probe(Mutex<u32>);
+        impl DpcAlgorithm for &Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn fit(&self, _: &Dataset) -> Result<DpcModel, DpcError> {
+                *self.0.lock().unwrap() += 1;
+                Err(DpcError::EmptyDataset)
+            }
+        }
+
+        let data = Dataset::from_flat(2, vec![0.0, 0.0]);
+        let probe = Probe(Mutex::new(0));
+
+        // Error point at rate 1: inner never runs.
+        let inj = FaultInjector::shared(FaultPlan::new(2).with_rate(FaultPoint::FitError, 1.0));
+        let algo = FaultyAlgorithm::new(&probe, inj);
+        assert_eq!(algo.name(), "probe");
+        assert_eq!(
+            algo.fit(&data).unwrap_err(),
+            DpcError::Internal { what: "injected fit failure" }
+        );
+        assert_eq!(*probe.0.lock().unwrap(), 0);
+
+        // Panic point at rate 1: fit panics with the injected payload.
+        let inj = FaultInjector::shared(FaultPlan::new(2).with_rate(FaultPoint::FitPanic, 1.0));
+        let algo = FaultyAlgorithm::new(&probe, inj);
+        let payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| algo.fit(&data))).unwrap_err();
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "injected fit panic");
+        assert_eq!(*probe.0.lock().unwrap(), 0);
+
+        // Nothing armed: delegates to the inner algorithm.
+        let inj = FaultInjector::shared(FaultPlan::new(2));
+        let algo = FaultyAlgorithm::new(&probe, inj);
+        assert_eq!(algo.fit(&data).unwrap_err(), DpcError::EmptyDataset);
+        assert_eq!(*probe.0.lock().unwrap(), 1);
+    }
+}

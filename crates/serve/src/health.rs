@@ -1,0 +1,180 @@
+//! Store health reporting and the refit supervision policy.
+//!
+//! A store whose refits keep failing does not go down — it keeps serving the
+//! last good epoch. But "still answering" and "healthy" are different claims,
+//! and monitoring needs to tell them apart. [`Health`] is that signal:
+//! `Healthy` while installs succeed, `Degraded` with exact counters once a
+//! supervised refit has failed, back to `Healthy` the moment any refit
+//! installs. [`RefitPolicy`] configures the supervisor: how many attempts per
+//! round, how the backoff between them grows, and an optional wall-clock
+//! deadline for the whole round.
+
+use std::time::Duration;
+
+use dpc_core::DpcError;
+use dpc_rng::StdRng;
+
+/// The store's self-reported condition, answered via
+/// [`Request::Health`](crate::Request::Health).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Health {
+    /// The most recent refit (if any) installed successfully; the served
+    /// epoch is as fresh as the data offered to the store.
+    Healthy,
+    /// At least one refit attempt has failed since the last successful
+    /// install. The store still answers every request from the last good
+    /// epoch — degraded means *stale*, not *down*.
+    Degraded {
+        /// Failed fit attempts since the last successful install (counts
+        /// every retry, across rounds).
+        consecutive_failures: u64,
+        /// Supervised refit rounds that exhausted their retry budget since
+        /// the last successful install — i.e. how many whole refresh cycles
+        /// the served epoch has missed.
+        stale_epochs: u64,
+        /// The error of the most recent failed attempt.
+        last_error: DpcError,
+    },
+}
+
+impl Health {
+    /// Whether this is [`Health::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Health::Healthy)
+    }
+}
+
+/// Retry/backoff/deadline policy for
+/// [`ModelStore::refit_supervised`](crate::ModelStore::refit_supervised).
+///
+/// The backoff between attempts is *decorrelated jitter*: each sleep is drawn
+/// uniformly from `[base, prev × 3]` and capped at `max_backoff`. Compared to
+/// plain exponential backoff this de-synchronises many writers that started
+/// failing together while keeping the expected growth exponential. The draw
+/// uses a seeded [`StdRng`], so a chaos run's sleep schedule is as replayable
+/// as its fault schedule.
+#[derive(Clone, Debug)]
+pub struct RefitPolicy {
+    /// Fit attempts per supervised round (≥ 1) before the round gives up and
+    /// the store is marked degraded.
+    pub max_attempts: u32,
+    /// Lower bound (and first value) of the backoff draw.
+    pub base_backoff: Duration,
+    /// Upper cap of the backoff draw.
+    pub max_backoff: Duration,
+    /// Optional wall-clock budget for the whole round (all attempts and
+    /// sleeps). `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Seed of the jitter stream.
+    pub backoff_seed: u64,
+}
+
+impl Default for RefitPolicy {
+    /// Three attempts, 5 ms base / 500 ms cap backoff, no deadline.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            deadline: None,
+            backoff_seed: 0xbacc_0ff5,
+        }
+    }
+}
+
+impl RefitPolicy {
+    /// Sets the attempts per round (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff bounds.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// Sets the per-round wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// The next decorrelated-jitter sleep given the previous one (pass
+    /// [`RefitPolicy::base_backoff`] before the first retry):
+    /// `uniform(base, prev × 3)` clamped to `[base, max_backoff]`.
+    pub fn next_backoff(&self, prev: Duration, rng: &mut StdRng) -> Duration {
+        let base = self.base_backoff.as_secs_f64();
+        let cap = self.max_backoff.as_secs_f64();
+        let hi = (prev.as_secs_f64() * 3.0).max(base);
+        let drawn = if hi > base { rng.gen_range(base..=hi) } else { base };
+        Duration::from_secs_f64(drawn.min(cap).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_predicate() {
+        assert!(Health::Healthy.is_healthy());
+        let degraded = Health::Degraded {
+            consecutive_failures: 2,
+            stale_epochs: 1,
+            last_error: DpcError::Internal { what: "injected fit failure" },
+        };
+        assert!(!degraded.is_healthy());
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = RefitPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert!(p.base_backoff <= p.max_backoff);
+        assert!(p.deadline.is_none());
+    }
+
+    #[test]
+    fn builders_clamp_their_domains() {
+        let p = RefitPolicy::default().with_max_attempts(0);
+        assert_eq!(p.max_attempts, 1);
+        let p = RefitPolicy::default()
+            .with_backoff(Duration::from_millis(50), Duration::from_millis(10));
+        assert_eq!(p.max_backoff, Duration::from_millis(50), "cap raised to base");
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_reproducible() {
+        let policy = RefitPolicy::default()
+            .with_backoff(Duration::from_millis(5), Duration::from_millis(500));
+        let mut rng = StdRng::seed_from_u64(policy.backoff_seed);
+        let mut prev = policy.base_backoff;
+        let mut seen = Vec::new();
+        for _ in 0..32 {
+            let next = policy.next_backoff(prev, &mut rng);
+            assert!(next >= policy.base_backoff, "{next:?} under base");
+            assert!(next <= policy.max_backoff, "{next:?} over cap");
+            seen.push(next);
+            prev = next;
+        }
+        // Jitter actually varies the draws.
+        assert!(seen.windows(2).any(|w| w[0] != w[1]));
+        // Same seed → same schedule.
+        let mut rng2 = StdRng::seed_from_u64(policy.backoff_seed);
+        let mut prev2 = policy.base_backoff;
+        for &expect in &seen {
+            let next = policy.next_backoff(prev2, &mut rng2);
+            assert_eq!(next, expect);
+            prev2 = next;
+        }
+    }
+}

@@ -20,6 +20,24 @@
 //! * [`assign`] — the point-classification rules, documented and testable on
 //!   their own.
 //!
+//! # Robustness
+//!
+//! A long-lived server also has to survive what a one-shot fit never sees:
+//! panicking handlers, failing refits, slow requests, corrupted inputs,
+//! overload. The serving path is hardened end to end —
+//!
+//! * [`ServeError`] + [`ServeConfig`] — per-request deadlines
+//!   (`DeadlineExceeded`), admission-cap load shedding (`Overloaded`), and
+//!   panic isolation (`HandlerPanic`) around every handler;
+//! * [`ModelStore::refit_supervised`] + [`RefitPolicy`] — bounded retries
+//!   with decorrelated-jitter backoff and an optional round deadline; an
+//!   exhausted round keeps serving the last good epoch and flips
+//!   [`Health`] to `Degraded` with exact failure counters, answered via
+//!   [`Request::Health`];
+//! * [`faults`] — a deterministic, seeded fault-injection subsystem
+//!   ([`FaultPlan`]/[`FaultInjector`]/[`FaultyAlgorithm`]) so every chaos
+//!   run that exercises the above is replayable from its printed seed.
+//!
 //! # Example
 //!
 //! ```
@@ -62,13 +80,21 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 
 pub mod assign;
+mod error;
+pub mod faults;
+mod health;
 mod request;
 mod server;
 mod snapshot;
 mod store;
 
-pub use request::{AssignResponse, RelabelResponse, Request, Response, StatsResponse};
-pub use server::DpcServer;
+pub use error::{Deadline, ServeError};
+pub use faults::{FaultInjector, FaultPlan, FaultPoint, FaultyAlgorithm};
+pub use health::{Health, RefitPolicy};
+pub use request::{
+    AssignResponse, HealthResponse, RelabelResponse, Request, Response, StatsResponse,
+};
+pub use server::{DpcServer, ServeConfig, ServeCounters};
 pub use snapshot::Snapshot;
 pub use store::ModelStore;
 

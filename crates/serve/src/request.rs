@@ -9,13 +9,21 @@
 //!   epoch without refitting (density by range-count, nearest higher-density
 //!   neighbour, dependency-chain walk to a label);
 //! * [`Request::Stats`] — observe the serving state (epoch, sizes, fit
-//!   timings, index memory).
+//!   timings, index memory);
+//! * [`Request::Health`] — observe the serving *condition*: the store's
+//!   [`Health`] plus the server's shed/timeout/panic counters. Health is the
+//!   monitoring path, so [`DpcServer::handle`](crate::DpcServer::handle)
+//!   answers it even when the server is shedding load — an overloaded server
+//!   must still be able to say it is overloaded.
 //!
 //! Every response carries the epoch it was computed against, so clients can
 //! correlate answers across a background refit: all fields of one response
 //! come from exactly one epoch, never a mixture.
 
 use dpc_core::{Thresholds, Timings};
+
+use crate::health::Health;
+use crate::server::ServeCounters;
 
 /// A request against the current snapshot of a
 /// [`DpcServer`](crate::DpcServer).
@@ -29,6 +37,10 @@ pub enum Request {
     Assign(Vec<f64>),
     /// Report the serving state of the current epoch.
     Stats,
+    /// Report the serving condition: store health and failure counters.
+    /// Answered outside the admission cap and deadline, so monitoring keeps
+    /// working while the server degrades or sheds.
+    Health,
 }
 
 /// The answer to a [`Request`]; each variant mirrors one request kind.
@@ -40,6 +52,8 @@ pub enum Response {
     Assign(AssignResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
+    /// Answer to [`Request::Health`].
+    Health(HealthResponse),
 }
 
 impl Response {
@@ -49,6 +63,7 @@ impl Response {
             Response::Relabel(r) => r.epoch,
             Response::Assign(r) => r.epoch,
             Response::Stats(r) => r.epoch,
+            Response::Health(r) => r.epoch,
         }
     }
 }
@@ -123,6 +138,19 @@ pub struct StatsResponse {
     pub index_bytes: usize,
 }
 
+/// The serving condition: what a monitor polls.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthResponse {
+    /// Epoch currently being served (the *last good* epoch when degraded).
+    pub epoch: u64,
+    /// The store's refit health: `Healthy`, or `Degraded` with failure
+    /// counters and the most recent error.
+    pub health: Health,
+    /// The server's cumulative request counters (admitted / shed / timed out
+    /// / panicked).
+    pub counters: ServeCounters,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,9 +185,15 @@ mod tests {
             fit_timings: Timings::default(),
             index_bytes: 128,
         });
+        let health = Response::Health(HealthResponse {
+            epoch: 6,
+            health: Health::Healthy,
+            counters: ServeCounters::default(),
+        });
         assert_eq!(relabel.epoch(), 3);
         assert_eq!(assign.epoch(), 4);
         assert_eq!(stats.epoch(), 5);
+        assert_eq!(health.epoch(), 6);
     }
 
     #[test]

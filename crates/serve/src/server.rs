@@ -4,28 +4,134 @@
 //! Each request pins exactly one snapshot (one `Arc` clone) for its whole
 //! lifetime, so a background refit installed mid-request never mixes into the
 //! answer — the response's `epoch` field names the epoch every one of its
-//! fields came from. The server itself is stateless beyond the store, so one
-//! instance can be shared freely across threads (`&DpcServer` is all any
-//! worker needs).
+//! fields came from. The server is shared freely across threads
+//! (`&DpcServer` is all any worker needs); the only mutable state beyond the
+//! store is a handful of atomic counters.
+//!
+//! # The request path
+//!
+//! Every request except [`Request::Health`] passes through, in order:
+//!
+//! 1. **Admission.** With [`ServeConfig::max_in_flight`] set, a request that
+//!    would push the in-flight count past the cap is shed immediately with
+//!    [`ServeError::Overloaded`] — no snapshot pinned, no work started.
+//! 2. **Deadline.** With [`ServeConfig::deadline`] set, the clock starts at
+//!    admission; handlers check it at phase boundaries (each
+//!    expanding-radius round of `Assign`) and abandon with
+//!    [`ServeError::DeadlineExceeded`], never a partial answer.
+//! 3. **Panic isolation.** Dispatch runs inside
+//!    [`std::panic::catch_unwind`]: a panicking handler becomes
+//!    [`ServeError::HandlerPanic`] and the server keeps serving. This is
+//!    sound because handlers only *read* the immutable snapshot — there is
+//!    no state to tear.
+//! 4. **Input validation.** `Relabel` thresholds are re-validated at this
+//!    trust boundary ([`Thresholds::validate`]); the fields are public, so a
+//!    corrupted request can carry NaN or negative values that
+//!    `Thresholds::new` never saw.
+//!
+//! [`Request::Health`] bypasses steps 1–3 by design: monitoring must keep
+//! answering exactly when the server is overloaded or degraded.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
 use dpc_geometry::Dataset;
 use dpc_parallel::Executor;
 
-use crate::assign::classify;
-use crate::request::{RelabelResponse, Request, Response, StatsResponse};
+use crate::assign::classify_within;
+use crate::error::{Deadline, ServeError};
+use crate::faults::{FaultInjector, FaultPoint};
+use crate::request::{HealthResponse, RelabelResponse, Request, Response, StatsResponse};
 use crate::snapshot::Snapshot;
 use crate::store::ModelStore;
+
+/// Robustness knobs of a [`DpcServer`]. The default is maximally permissive
+/// (no deadline, no admission cap) — exactly the seed behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Per-request time budget; `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Admission cap: requests beyond this many in flight are shed with
+    /// [`ServeError::Overloaded`]. `None` = unlimited.
+    pub max_in_flight: Option<usize>,
+}
+
+impl ServeConfig {
+    /// Sets the per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the admission cap.
+    pub fn with_max_in_flight(mut self, limit: usize) -> Self {
+        self.max_in_flight = Some(limit);
+        self
+    }
+}
+
+/// A point-in-time copy of the server's cumulative request counters, as
+/// reported in [`HealthResponse`]. Counters only ever grow; rates are the
+/// caller's division.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests admitted past the in-flight cap (includes ones that later
+    /// failed validation, timed out or panicked).
+    pub admitted: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests abandoned at a deadline ([`ServeError::DeadlineExceeded`]).
+    pub timed_out: u64,
+    /// Requests whose handler panicked ([`ServeError::HandlerPanic`]).
+    pub panicked: u64,
+}
+
+/// The live atomics behind [`ServeCounters`].
+#[derive(Debug, Default)]
+struct Counters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl Counters {
+    fn read(&self) -> ServeCounters {
+        ServeCounters {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII in-flight decrement: constructed before the cap check so the shed
+/// path undoes its own increment, dropped when the request finishes on any
+/// path (success, error, even a resumed panic).
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// A clustering server: a [`ModelStore`] plus the request dispatch over it.
 pub struct DpcServer {
     store: ModelStore,
+    config: ServeConfig,
+    faults: Option<Arc<FaultInjector>>,
+    in_flight: AtomicUsize,
+    counters: Counters,
 }
 
 impl DpcServer {
-    /// Fits `algo` on `data` and starts serving the result as epoch 1.
+    /// Fits `algo` on `data` and starts serving the result as epoch 1, with
+    /// the permissive [`ServeConfig::default`] and no fault injection.
     ///
     /// # Errors
     /// Propagates the underlying fit's [`DpcError`].
@@ -35,7 +141,33 @@ impl DpcServer {
         thresholds: Thresholds,
         executor: &Executor,
     ) -> Result<Self, DpcError> {
-        Ok(Self { store: ModelStore::fit(algo, data, thresholds, executor)? })
+        Ok(Self {
+            store: ModelStore::fit(algo, data, thresholds, executor)?,
+            config: ServeConfig::default(),
+            faults: None,
+            in_flight: AtomicUsize::new(0),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Replaces the robustness configuration (builder style).
+    pub fn with_config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a fault injector: armed request-side points
+    /// ([`FaultPoint::SlowRequest`], [`FaultPoint::RequestPanic`]) fire
+    /// inside the dispatch bracket, exercising exactly the isolation a real
+    /// failure would. Production servers simply never attach one.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The active robustness configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
     }
 
     /// The underlying store — for writers that refit/install epochs while
@@ -54,26 +186,145 @@ impl DpcServer {
         self.store.snapshot()
     }
 
-    /// Answers one request against the current snapshot.
+    /// A point-in-time copy of the cumulative request counters.
+    pub fn counters(&self) -> ServeCounters {
+        self.counters.read()
+    }
+
+    /// Answers one request against the current snapshot, through the full
+    /// admission → deadline → isolation path (module docs). `Health` skips
+    /// that path and always answers.
     ///
     /// # Errors
-    /// Only [`Request::Assign`] can fail (malformed query point); `Relabel`
-    /// and `Stats` are infallible — `Thresholds` are validated at
-    /// construction, so by the time they arrive here they are in-domain.
-    pub fn handle(&self, request: &Request) -> Result<Response, DpcError> {
+    /// [`ServeError::Overloaded`] at the admission cap,
+    /// [`ServeError::DeadlineExceeded`] past the time budget,
+    /// [`ServeError::HandlerPanic`] when the handler panicked, and
+    /// [`ServeError::Dpc`] for malformed inputs (bad query point, corrupted
+    /// thresholds).
+    pub fn handle(&self, request: &Request) -> Result<Response, ServeError> {
+        if matches!(request, Request::Health) {
+            return Ok(Response::Health(self.health_response()));
+        }
+        let _guard = self.admit()?;
+        let deadline = Deadline::start(self.config.deadline);
         let snapshot = self.store.snapshot();
-        Self::handle_on(&snapshot, request)
+        self.dispatch(&snapshot, request, &deadline)
     }
 
     /// Answers one request against an explicitly pinned snapshot — the
     /// building block for clients that need several answers from the *same*
-    /// epoch (pin once, ask many times).
+    /// epoch (pin once, ask many times). No admission, deadline or isolation:
+    /// there is no server in this call, only a snapshot.
     ///
     /// # Errors
-    /// Same as [`DpcServer::handle`].
-    pub fn handle_on(snapshot: &Snapshot, request: &Request) -> Result<Response, DpcError> {
+    /// [`ServeError::Dpc`] for malformed inputs;
+    /// [`ServeError::Unsupported`] for [`Request::Health`], which needs the
+    /// store and counters a bare snapshot does not have.
+    pub fn handle_on(snapshot: &Snapshot, request: &Request) -> Result<Response, ServeError> {
+        Self::handle_within(snapshot, request, &Deadline::none())
+    }
+
+    /// Answers a batch of requests, fanning the work across `executor`'s
+    /// workers (work-stealing over request indexes, so a mix of cheap `Stats`
+    /// and `O(n)` `Relabel`s balances itself). The whole batch is served from
+    /// one pinned snapshot: every response carries the same epoch even if a
+    /// refit lands mid-batch. Each batched request passes through the same
+    /// admission/deadline/isolation path as [`DpcServer::handle`], so one
+    /// poisoned or slow request fails alone — the rest of the batch is
+    /// unaffected.
+    pub fn handle_batch(
+        &self,
+        requests: &[Request],
+        executor: &Executor,
+    ) -> Vec<Result<Response, ServeError>> {
+        let snapshot = self.store.snapshot();
+        executor.map_dynamic(requests.len(), |i| {
+            let request = &requests[i];
+            if matches!(request, Request::Health) {
+                return Ok(Response::Health(self.health_response()));
+            }
+            let _guard = self.admit()?;
+            let deadline = Deadline::start(self.config.deadline);
+            self.dispatch(&snapshot, request, &deadline)
+        })
+    }
+
+    /// The `Health` answer: last-good epoch, store health, counters.
+    fn health_response(&self) -> HealthResponse {
+        HealthResponse {
+            epoch: self.store.epoch(),
+            health: self.store.health(),
+            counters: self.counters.read(),
+        }
+    }
+
+    /// Admission control: reserves an in-flight slot or sheds the request.
+    fn admit(&self) -> Result<InFlightGuard<'_>, ServeError> {
+        let prev = self.in_flight.fetch_add(1, Ordering::Relaxed);
+        // Guard first: if we shed, dropping it undoes our own increment.
+        let guard = InFlightGuard(&self.in_flight);
+        if let Some(limit) = self.config.max_in_flight {
+            if prev >= limit {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { in_flight: prev + 1, limit });
+            }
+        }
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(guard)
+    }
+
+    /// The isolation bracket: runs the handler (and any armed request-side
+    /// faults) under `catch_unwind`, converts panics to
+    /// [`ServeError::HandlerPanic`], and keeps the outcome counters.
+    fn dispatch(
+        &self,
+        snapshot: &Snapshot,
+        request: &Request,
+        deadline: &Deadline,
+    ) -> Result<Response, ServeError> {
+        // AssertUnwindSafe: the closure only reads the immutable snapshot and
+        // the injector's atomics; there is no state a mid-handler panic could
+        // leave half-written.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(faults) = &self.faults {
+                faults.maybe_sleep(FaultPoint::SlowRequest);
+                if faults.fires(FaultPoint::RequestPanic) {
+                    panic!("injected request panic");
+                }
+            }
+            Self::handle_within(snapshot, request, deadline)
+        }));
+        match outcome {
+            Ok(result) => {
+                if matches!(result, Err(ServeError::DeadlineExceeded { .. })) {
+                    self.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Err(payload) => {
+                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                let payload = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                Err(ServeError::HandlerPanic { payload })
+            }
+        }
+    }
+
+    /// The handler proper: one snapshot, one request, one deadline.
+    fn handle_within(
+        snapshot: &Snapshot,
+        request: &Request,
+        deadline: &Deadline,
+    ) -> Result<Response, ServeError> {
+        deadline.check()?;
         match request {
             Request::Relabel(thresholds) => {
+                // Trust boundary: the fields are public, so a corrupted
+                // request can carry values `Thresholds::new` never approved.
+                thresholds.validate()?;
                 let clustering = snapshot.model().extract(thresholds);
                 Ok(Response::Relabel(RelabelResponse {
                     epoch: snapshot.epoch(),
@@ -84,7 +335,9 @@ impl DpcServer {
                     centers: clustering.centers,
                 }))
             }
-            Request::Assign(point) => Ok(Response::Assign(classify(snapshot, point)?)),
+            Request::Assign(point) => {
+                Ok(Response::Assign(classify_within(snapshot, point, deadline)?))
+            }
             Request::Stats => {
                 let clustering = snapshot.clustering();
                 Ok(Response::Stats(StatsResponse {
@@ -99,27 +352,18 @@ impl DpcServer {
                     index_bytes: snapshot.index_bytes(),
                 }))
             }
+            Request::Health => {
+                Err(ServeError::Unsupported { what: "Health against a pinned snapshot" })
+            }
         }
-    }
-
-    /// Answers a batch of requests, fanning the work across `executor`'s
-    /// workers (work-stealing over request indexes, so a mix of cheap `Stats`
-    /// and `O(n)` `Relabel`s balances itself). The whole batch is served from
-    /// one pinned snapshot: every response carries the same epoch even if a
-    /// refit lands mid-batch.
-    pub fn handle_batch(
-        &self,
-        requests: &[Request],
-        executor: &Executor,
-    ) -> Vec<Result<Response, DpcError>> {
-        let snapshot = self.store.snapshot();
-        executor.map_dynamic(requests.len(), |i| Self::handle_on(&snapshot, &requests[i]))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
+    use crate::health::Health;
     use dpc_core::{DpcParams, ExDpc, NOISE};
     use dpc_data::generators::gaussian_blobs;
 
@@ -174,7 +418,14 @@ mod tests {
     fn assign_errors_surface_without_poisoning_the_server() {
         let srv = server();
         let err = srv.handle(&Request::Assign(vec![1.0, 2.0, 3.0])).unwrap_err();
-        assert_eq!(err, DpcError::DimensionMismatch { what: "query point", expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            ServeError::Dpc(DpcError::DimensionMismatch {
+                what: "query point",
+                expected: 2,
+                got: 3
+            })
+        );
         // The server still answers afterwards.
         assert!(srv.handle(&Request::Stats).is_ok());
     }
@@ -207,5 +458,95 @@ mod tests {
         let dep = r.dependent.expect("a near-blob query has a denser neighbour");
         assert_eq!(r.label, snap.clustering().assignment[dep]);
         assert_ne!(r.label, NOISE);
+    }
+
+    #[test]
+    fn corrupted_thresholds_are_rejected_at_the_trust_boundary() {
+        let srv = server();
+        // Struct-literal construction bypasses Thresholds::new — the shape a
+        // corrupted or malicious request arrives in.
+        let corrupt = Thresholds { rho_min: f64::NAN, delta_min: -1.0 };
+        let err = srv.handle(&Request::Relabel(corrupt)).unwrap_err();
+        assert!(matches!(err, ServeError::Dpc(DpcError::InvalidThresholds { .. })), "{err:?}");
+        assert!(srv.handle(&Request::Stats).is_ok());
+    }
+
+    #[test]
+    fn the_admission_cap_sheds_instead_of_queueing() {
+        let srv = server().with_config(ServeConfig::default().with_max_in_flight(0));
+        let err = srv.handle(&Request::Stats).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { in_flight: 1, limit: 0 });
+        // Shedding is observable, and Health still answers past the cap.
+        let health = match srv.handle(&Request::Health) {
+            Ok(Response::Health(h)) => h,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(health.counters.shed, 1);
+        assert_eq!(health.counters.admitted, 0);
+        assert_eq!(health.health, Health::Healthy);
+        // The shed path decremented its own in-flight reservation: a server
+        // with a real cap is not wedged by past sheds.
+        let srv = server().with_config(ServeConfig::default().with_max_in_flight(2));
+        for _ in 0..10 {
+            assert!(srv.handle(&Request::Stats).is_ok(), "sequential load never hits cap 2");
+        }
+        assert_eq!(srv.counters().shed, 0);
+        assert_eq!(srv.counters().admitted, 10);
+    }
+
+    #[test]
+    fn an_expired_deadline_times_the_request_out() {
+        let srv = server().with_config(ServeConfig::default().with_deadline(Duration::ZERO));
+        let err = srv.handle(&Request::Assign(vec![0.2, -0.3])).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { budget: Duration::ZERO });
+        assert_eq!(srv.counters().timed_out, 1);
+        // Health bypasses the deadline.
+        assert!(srv.handle(&Request::Health).is_ok());
+    }
+
+    #[test]
+    fn handler_panics_are_isolated_and_counted() {
+        let faults =
+            FaultInjector::shared(FaultPlan::new(11).with_rate(FaultPoint::RequestPanic, 1.0));
+        let srv = server().with_faults(Arc::clone(&faults));
+        let err = srv.handle(&Request::Stats).unwrap_err();
+        assert_eq!(err, ServeError::HandlerPanic { payload: "injected request panic".into() });
+        assert_eq!(srv.counters().panicked, 1);
+        // End the storm: the same server answers normally again — nothing
+        // was poisoned or wedged by the panic.
+        faults.disarm();
+        assert!(srv.handle(&Request::Stats).is_ok());
+        let health = match srv.handle(&Request::Health) {
+            Ok(Response::Health(h)) => h,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(health.counters.panicked, 1);
+        assert_eq!(health.counters.admitted, 2);
+    }
+
+    #[test]
+    fn health_on_a_pinned_snapshot_is_unsupported() {
+        let srv = server();
+        let snap = srv.snapshot();
+        let err = DpcServer::handle_on(&snap, &Request::Health).unwrap_err();
+        assert!(matches!(err, ServeError::Unsupported { .. }), "{err:?}");
+        // Everything else works against a pinned snapshot.
+        assert!(DpcServer::handle_on(&snap, &Request::Stats).is_ok());
+    }
+
+    #[test]
+    fn batch_items_fail_alone() {
+        let srv = server();
+        let requests = vec![
+            Request::Stats,
+            Request::Assign(vec![1.0]), // wrong dim
+            Request::Relabel(Thresholds { rho_min: f64::NAN, delta_min: 1.0 }), // corrupted
+            Request::Assign(vec![0.2, -0.3]),
+        ];
+        let responses = srv.handle_batch(&requests, &Executor::new(4));
+        assert!(responses[0].is_ok());
+        assert!(matches!(responses[1], Err(ServeError::Dpc(DpcError::DimensionMismatch { .. }))));
+        assert!(matches!(responses[2], Err(ServeError::Dpc(DpcError::InvalidThresholds { .. }))));
+        assert!(responses[3].is_ok());
     }
 }

@@ -12,19 +12,61 @@
 //! build the serving kd-tree, cache the default clustering — and then install
 //! it with a single pointer swap that also stamps the epoch number. Epochs
 //! are unique and monotonically increasing even when several writers race.
+//!
+//! # Surviving failure
+//!
+//! Two mechanisms keep a store serving through trouble:
+//!
+//! * **Poison recovery.** The mutex only ever guards an `Arc` pointer, and
+//!   every snapshot behind that pointer is fully built *before* the lock is
+//!   taken — so even if a thread panics while holding the lock, the guarded
+//!   value is a complete, valid epoch. All lock sites therefore recover from
+//!   poisoning ([`std::sync::PoisonError::into_inner`]) instead of
+//!   propagating a panic to every subsequent reader.
+//! * **Refit supervision.** [`ModelStore::refit_supervised`] wraps the fit in
+//!   a panic-isolation bracket, retries with decorrelated-jitter backoff
+//!   under a [`RefitPolicy`], and — when a whole round fails — leaves the
+//!   last good epoch in place and flips [`ModelStore::health`] to
+//!   [`Health::Degraded`] with exact failure counters. Any successful
+//!   install (supervised or not) resets the store to [`Health::Healthy`].
 
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
 use dpc_geometry::Dataset;
 use dpc_parallel::Executor;
+use dpc_rng::StdRng;
 
+use crate::health::{Health, RefitPolicy};
 use crate::snapshot::Snapshot;
+
+/// Failure counters guarded together so a health read is one consistent view.
+#[derive(Debug, Default)]
+struct HealthState {
+    /// Failed fit attempts since the last successful install.
+    consecutive_failures: u64,
+    /// Supervised rounds that exhausted their budget since the last install.
+    stale_epochs: u64,
+    /// The most recent attempt's error, if any.
+    last_error: Option<DpcError>,
+}
 
 /// Holds `Arc<Snapshot>`s behind an epoch/swap: readers clone the pointer,
 /// writers atomically replace it with a freshly fitted snapshot.
 pub struct ModelStore {
     current: Mutex<Arc<Snapshot>>,
+    health: Mutex<HealthState>,
+}
+
+/// Recovers the guard from a poisoned lock. Safe for both of this store's
+/// mutexes: `current` always points at a fully built snapshot (see module
+/// docs) and `health` holds plain counters.
+fn recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl ModelStore {
@@ -46,7 +88,10 @@ impl ModelStore {
         let model = algo.fit(&data)?;
         let mut snapshot = Snapshot::new(data, model, thresholds, executor);
         snapshot.epoch = 1;
-        Ok(Self { current: Mutex::new(Arc::new(snapshot)) })
+        Ok(Self {
+            current: Mutex::new(Arc::new(snapshot)),
+            health: Mutex::new(HealthState::default()),
+        })
     }
 
     /// The current snapshot. The internal lock is held only for the `Arc`
@@ -54,12 +99,42 @@ impl ModelStore {
     /// it *is* one epoch) for as long as the caller keeps it, regardless of
     /// how many refits are installed in the meantime.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.lock().expect("model store poisoned"))
+        Arc::clone(&recover(self.current.lock()))
     }
 
     /// The current epoch number.
     pub fn epoch(&self) -> u64 {
-        self.current.lock().expect("model store poisoned").epoch
+        recover(self.current.lock()).epoch
+    }
+
+    /// The store's current [`Health`]: `Healthy` when no fit attempt has
+    /// failed since the last successful install, `Degraded` (with exact
+    /// counters and the most recent error) otherwise. Failures are recorded
+    /// by both [`ModelStore::refit`] and [`ModelStore::refit_supervised`];
+    /// any successful install resets the state to `Healthy`.
+    pub fn health(&self) -> Health {
+        let state = recover(self.health.lock());
+        match &state.last_error {
+            None => Health::Healthy,
+            Some(err) => Health::Degraded {
+                consecutive_failures: state.consecutive_failures,
+                stale_epochs: state.stale_epochs,
+                last_error: err.clone(),
+            },
+        }
+    }
+
+    /// Records one failed fit attempt.
+    fn record_attempt_failure(&self, err: &DpcError) {
+        let mut state = recover(self.health.lock());
+        state.consecutive_failures += 1;
+        state.last_error = Some(err.clone());
+    }
+
+    /// Records a supervised round that exhausted its budget: the served epoch
+    /// has now missed one whole refresh cycle.
+    fn record_round_exhausted(&self) {
+        recover(self.health.lock()).stale_epochs += 1;
     }
 
     /// Fits `algo` on `data` and atomically installs the result as the next
@@ -73,7 +148,8 @@ impl ModelStore {
     ///
     /// # Errors
     /// Propagates every [`DpcError`] of the underlying `fit`; on error the
-    /// store keeps serving the current epoch untouched.
+    /// store keeps serving the current epoch untouched (and records the
+    /// failure in [`ModelStore::health`]).
     pub fn refit<A: DpcAlgorithm>(
         &self,
         algo: &A,
@@ -82,19 +158,101 @@ impl ModelStore {
         executor: &Executor,
     ) -> Result<u64, DpcError> {
         let data = Arc::new(data);
-        let model = algo.fit(&data)?;
+        let model = match algo.fit(&data) {
+            Ok(model) => model,
+            Err(err) => {
+                self.record_attempt_failure(&err);
+                return Err(err);
+            }
+        };
         let snapshot = Snapshot::new(data, model, thresholds, executor);
         Ok(self.install(snapshot))
+    }
+
+    /// [`ModelStore::refit`] under supervision: the fit runs inside a
+    /// panic-isolation bracket and is retried up to
+    /// [`RefitPolicy::max_attempts`] times with decorrelated-jitter backoff
+    /// between attempts, all under the policy's optional wall-clock deadline.
+    ///
+    /// On success the snapshot installs as usual and the store returns to
+    /// [`Health::Healthy`]. When the whole round fails, the store **keeps
+    /// serving the last good epoch** — nothing about the read path changes —
+    /// and [`ModelStore::health`] reports [`Health::Degraded`] with the
+    /// attempt count, the number of exhausted rounds, and the last error.
+    ///
+    /// # Errors
+    /// The last attempt's error when every attempt failed;
+    /// [`DpcError::Internal`] with `"fit panicked"` when that attempt
+    /// panicked, or with `"refit deadline exceeded"` when the policy's
+    /// deadline expired before the attempts were used up.
+    pub fn refit_supervised<A: DpcAlgorithm>(
+        &self,
+        algo: &A,
+        data: Dataset,
+        thresholds: Thresholds,
+        executor: &Executor,
+        policy: &RefitPolicy,
+    ) -> Result<u64, DpcError> {
+        let data = Arc::new(data);
+        let started = Instant::now();
+        let deadline_left = |started: Instant| -> Option<Duration> {
+            policy.deadline.map(|d| d.saturating_sub(started.elapsed()))
+        };
+        let mut rng = StdRng::seed_from_u64(policy.backoff_seed);
+        let mut backoff = policy.base_backoff;
+        let mut last_error = DpcError::Internal { what: "refit deadline exceeded" };
+        for attempt in 0..policy.max_attempts.max(1) {
+            if deadline_left(started).is_some_and(|left| left.is_zero()) {
+                last_error = DpcError::Internal { what: "refit deadline exceeded" };
+                break;
+            }
+            // The bracket covers the fit *and* the snapshot build: a panic in
+            // either becomes this attempt's error instead of unwinding into
+            // the writer thread. AssertUnwindSafe is sound because on Err we
+            // only touch `data` (immutable) and the health counters (guarded
+            // by their own recovering lock).
+            let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+                let model = algo.fit(&data)?;
+                Ok(Snapshot::new(Arc::clone(&data), model, thresholds, executor))
+            }));
+            match attempt_result {
+                Ok(Ok(snapshot)) => return Ok(self.install(snapshot)),
+                Ok(Err(err)) => last_error = err,
+                Err(_panic) => last_error = DpcError::Internal { what: "fit panicked" },
+            }
+            self.record_attempt_failure(&last_error);
+            if attempt + 1 < policy.max_attempts {
+                backoff = policy.next_backoff(backoff, &mut rng);
+                let sleep = match deadline_left(started) {
+                    // Never sleep past the deadline; the loop head notices.
+                    Some(left) => backoff.min(left),
+                    None => backoff,
+                };
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+        self.record_round_exhausted();
+        Err(last_error)
     }
 
     /// Installs a prepared snapshot as the next epoch (stamping its epoch
     /// number under the lock) and returns that epoch. Exposed for callers
     /// that build snapshots themselves — e.g. from a model fitted elsewhere.
+    ///
+    /// Every successful install resets [`ModelStore::health`] to
+    /// [`Health::Healthy`]: the served epoch is fresh again, whatever
+    /// happened before.
     pub fn install(&self, mut snapshot: Snapshot) -> u64 {
-        let mut current = self.current.lock().expect("model store poisoned");
-        let epoch = current.epoch + 1;
-        snapshot.epoch = epoch;
-        *current = Arc::new(snapshot);
+        let epoch = {
+            let mut current = recover(self.current.lock());
+            let epoch = current.epoch + 1;
+            snapshot.epoch = epoch;
+            *current = Arc::new(snapshot);
+            epoch
+        };
+        *recover(self.health.lock()) = HealthState::default();
         epoch
     }
 }
@@ -192,5 +350,223 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 4, "duplicate epochs handed out: {epochs:?}");
         assert_eq!(store.epoch(), *epochs.iter().max().unwrap());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let store = store_on(20);
+        // Panic while holding the snapshot lock: the value under the lock is
+        // still the fully built epoch-1 snapshot, so readers must carry on.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = store.current.lock().unwrap();
+                    panic!("poison the store");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(store.current.is_poisoned());
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.snapshot().n(), 40);
+        assert!(store.health().is_healthy());
+        // Writers recover too: install still swaps and bumps the epoch.
+        let data = gaussian_blobs(&[(0.0, 0.0)], 25, 1.5, 3);
+        let epoch = store
+            .refit(
+                &ExDpc::new(DpcParams::new(3.0)),
+                data,
+                Thresholds::for_dcut(3.0),
+                &Executor::single(),
+            )
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(store.snapshot().n(), 25);
+    }
+
+    /// An algorithm that fails (or panics) for its first `failures` calls,
+    /// then delegates to a real fit — the deterministic "transient outage"
+    /// every supervision test wants.
+    struct Flaky {
+        inner: ExDpc,
+        failures: std::sync::atomic::AtomicU32,
+        panic_instead: bool,
+    }
+
+    impl Flaky {
+        fn new(failures: u32, panic_instead: bool) -> Self {
+            Self {
+                inner: ExDpc::new(DpcParams::new(4.0)),
+                failures: std::sync::atomic::AtomicU32::new(failures),
+                panic_instead,
+            }
+        }
+    }
+
+    impl DpcAlgorithm for Flaky {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn fit(&self, data: &Dataset) -> Result<dpc_core::DpcModel, DpcError> {
+            use std::sync::atomic::Ordering;
+            let left = self.failures.load(Ordering::Relaxed);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::Relaxed);
+                if self.panic_instead {
+                    panic!("transient fit panic");
+                }
+                return Err(DpcError::Internal { what: "transient fit failure" });
+            }
+            self.inner.fit(data)
+        }
+    }
+
+    fn fast_policy(attempts: u32) -> RefitPolicy {
+        RefitPolicy::default()
+            .with_max_attempts(attempts)
+            .with_backoff(Duration::from_micros(100), Duration::from_micros(500))
+    }
+
+    #[test]
+    fn supervised_refit_retries_through_transient_failures() {
+        let store = store_on(20);
+        let data = gaussian_blobs(&[(0.0, 0.0), (50.0, 50.0)], 25, 2.0, 9);
+        // Two failures, three attempts: the third succeeds and installs.
+        let epoch = store
+            .refit_supervised(
+                &Flaky::new(2, false),
+                data,
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(3),
+            )
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(store.snapshot().n(), 50);
+        // The successful install wiped the two recorded attempt failures.
+        assert_eq!(store.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn supervised_refit_isolates_fit_panics() {
+        let store = store_on(20);
+        let data = gaussian_blobs(&[(0.0, 0.0)], 30, 1.5, 2);
+        let epoch = store
+            .refit_supervised(
+                &Flaky::new(1, true),
+                data,
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(2),
+            )
+            .unwrap();
+        assert_eq!(epoch, 2, "the retry after the panic must install");
+        assert!(store.health().is_healthy());
+    }
+
+    #[test]
+    fn exhausted_rounds_degrade_with_accurate_counters() {
+        let store = store_on(20);
+        let blobs = || gaussian_blobs(&[(0.0, 0.0)], 30, 1.5, 2);
+        let err = store
+            .refit_supervised(
+                &Flaky::new(u32::MAX, false),
+                blobs(),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(3),
+            )
+            .unwrap_err();
+        assert_eq!(err, DpcError::Internal { what: "transient fit failure" });
+        assert_eq!(store.epoch(), 1, "the last good epoch keeps serving");
+        assert_eq!(
+            store.health(),
+            Health::Degraded {
+                consecutive_failures: 3,
+                stale_epochs: 1,
+                last_error: DpcError::Internal { what: "transient fit failure" },
+            }
+        );
+        // A second exhausted round accumulates; counters never reset on failure.
+        let panicky = Flaky::new(u32::MAX, true);
+        store
+            .refit_supervised(
+                &panicky,
+                blobs(),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(3),
+            )
+            .unwrap_err();
+        assert_eq!(
+            store.health(),
+            Health::Degraded {
+                consecutive_failures: 6,
+                stale_epochs: 2,
+                last_error: DpcError::Internal { what: "fit panicked" },
+            }
+        );
+        // One successful refit ends the degradation.
+        let epoch = store
+            .refit_supervised(
+                &Flaky::new(0, false),
+                blobs(),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(1),
+            )
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(store.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn plain_refit_failures_are_visible_in_health() {
+        let store = store_on(20);
+        store
+            .refit(
+                &ExDpc::new(DpcParams::new(4.0)),
+                Dataset::new(2),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+            )
+            .unwrap_err();
+        match store.health() {
+            Health::Degraded { consecutive_failures: 1, stale_epochs: 0, last_error } => {
+                assert_eq!(last_error, DpcError::EmptyDataset);
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refit_deadline_bounds_the_round() {
+        /// Fails after sleeping, so attempts consume wall clock.
+        struct SlowFail;
+        impl DpcAlgorithm for SlowFail {
+            fn name(&self) -> &'static str {
+                "slow-fail"
+            }
+            fn fit(&self, _: &Dataset) -> Result<dpc_core::DpcModel, DpcError> {
+                std::thread::sleep(Duration::from_millis(10));
+                Err(DpcError::Internal { what: "transient fit failure" })
+            }
+        }
+        let store = store_on(20);
+        let started = Instant::now();
+        let err = store
+            .refit_supervised(
+                &SlowFail,
+                gaussian_blobs(&[(0.0, 0.0)], 30, 1.5, 2),
+                Thresholds::for_dcut(4.0),
+                &Executor::single(),
+                &fast_policy(1000).with_deadline(Duration::from_millis(25)),
+            )
+            .unwrap_err();
+        assert_eq!(err, DpcError::Internal { what: "refit deadline exceeded" });
+        // 1000 attempts × 10 ms would be 10 s; the deadline cut the round off.
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert!(!store.health().is_healthy());
+        assert_eq!(store.epoch(), 1);
     }
 }

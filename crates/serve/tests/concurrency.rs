@@ -149,6 +149,9 @@ fn readers_see_exactly_one_epoch_per_response_under_swap_churn() {
                                         }
                                     }
                                 }
+                                Response::Health(_) => {
+                                    unreachable!("no Health request was sent")
+                                }
                             }
                             seen_epochs = seen_epochs.max(epoch);
                             requests += 1;

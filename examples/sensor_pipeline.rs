@@ -15,9 +15,12 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use fast_dpc::data::real::RealDataset;
 use fast_dpc::prelude::*;
+use fast_dpc::serve::faults::{FaultInjector, FaultPlan, FaultPoint, FaultyAlgorithm};
 
 /// One ingestion window of sensor readings: the same underlying sensor
 /// distribution (fixed seed → fixed mode layout), with later windows larger —
@@ -36,7 +39,7 @@ fn jiggle(k: u64) -> f64 {
     ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
 }
 
-fn main() -> Result<(), DpcError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dcut = RealDataset::Sensor.default_dcut();
     let params = DpcParams::new(dcut).with_threads(2);
     let thresholds = Thresholds::new(10.0, 3.0 * dcut)?;
@@ -151,6 +154,49 @@ fn main() -> Result<(), DpcError> {
             .fold((0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
         println!("ingest total : {classified} readings classified, {anomalies} anomalous");
     });
+
+    // ------------------------------------------------------------------
+    // Chaos drill: survive a refit-failure storm. Every fit attempt is
+    // forced to fail (an injected outage of the fit path — think a bad
+    // data feed); the supervised refit retries with backoff, gives up,
+    // and the service *keeps serving the last good epoch* while Health
+    // reports exactly how degraded it is. Disarming the fault and
+    // refitting once restores Healthy.
+    // ------------------------------------------------------------------
+    let faults = FaultInjector::shared(FaultPlan::new(0x5EED).with_rate(FaultPoint::FitError, 1.0));
+    let flaky =
+        FaultyAlgorithm::new(SApproxDpc::new(params).with_epsilon(0.8), Arc::clone(&faults));
+    let policy = RefitPolicy::default()
+        .with_max_attempts(3)
+        .with_backoff(Duration::from_millis(2), Duration::from_millis(20));
+    let last_good = server.epoch();
+    for round in 1..=2 {
+        let err = server
+            .store()
+            .refit_supervised(&flaky, window(3), thresholds, &executor, &policy)
+            .expect_err("the storm fails every attempt");
+        let Response::Health(h) = server.handle(&Request::Health)? else { unreachable!() };
+        let Health::Degraded { consecutive_failures, stale_epochs, .. } = h.health else {
+            unreachable!("a failed round must degrade the store")
+        };
+        println!(
+            "[chaos]      round {round}: refit failed ({err}) -> degraded \
+             ({consecutive_failures} failures, {stale_epochs} missed refreshes), \
+             still serving epoch {}",
+            h.epoch
+        );
+        assert_eq!(h.epoch, last_good, "the last good epoch keeps serving");
+        // The read path is untouched by the storm.
+        assert!(server.handle(&Request::Stats).is_ok());
+    }
+    faults.disarm();
+    let epoch = server
+        .store()
+        .refit_supervised(&flaky, window(3), thresholds, &executor, &policy)
+        .expect("storm over: the refit installs");
+    let Response::Health(h) = server.handle(&Request::Health)? else { unreachable!() };
+    assert_eq!(h.health, Health::Healthy);
+    println!("[chaos]      storm over: epoch {epoch} installed, health {:?}", h.health);
 
     // The service has drained to its final epoch; report its state.
     match server.handle(&Request::Stats)? {

@@ -81,5 +81,8 @@ pub mod prelude {
     pub use dpc_eval::{adjusted_rand_index, rand_index};
     pub use dpc_geometry::{Dataset, Point};
     pub use dpc_parallel::Executor;
-    pub use dpc_serve::{DpcServer, ModelStore, Request, Response, Snapshot};
+    pub use dpc_serve::{
+        DpcServer, Health, ModelStore, RefitPolicy, Request, Response, ServeConfig, ServeError,
+        Snapshot,
+    };
 }

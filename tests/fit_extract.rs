@@ -267,6 +267,7 @@ fn errors_are_values_not_panics() {
             DpcError::EmptyDataset => "bad request: no data",
             DpcError::NonFiniteCoordinate { .. } => "bad request: corrupt coordinates",
             DpcError::DimensionMismatch { .. } => "internal: inconsistent arrays",
+            DpcError::Internal { .. } => "internal: isolated failure",
         }
     }
     let data = Dataset::new(2);
