@@ -1,0 +1,175 @@
+//! CI artifact-handoff driver for the `persist-roundtrip` job.
+//!
+//! `--write <dir>` fits a fixed-seed model, persists the serving snapshot to
+//! `<dir>/snapshot.dpca`, and records the answers a server loaded *from that
+//! artifact* gives to a deterministic request battery into
+//! `<dir>/expected.txt` (floats rendered as `f64::to_bits` hex, so the
+//! comparison is bitwise). `--verify <dir>` — run by a *different build* in a
+//! *different job* after the artifact travelled through upload/download —
+//! re-opens the artifact, replays the battery, and fails loudly on the first
+//! divergent line. Together the two legs prove the on-disk format is a real
+//! interchange format, not an accident of one compilation.
+
+use std::path::Path;
+
+use dpc_bench::{default_params, default_thresholds, BenchDataset};
+use dpc_core::{ExDpc, Thresholds};
+use dpc_parallel::Executor;
+use dpc_persist::{read_artifact_file, write_artifact_file};
+use dpc_serve::{DpcServer, Request, Response, Snapshot};
+
+const N: usize = 20_000;
+
+/// The deterministic request battery: threshold sweeps around the default,
+/// assigns at fixed in-domain points, and the stats view.
+fn battery(thresholds: Thresholds, points: &[Vec<f64>]) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for scale in [0.5, 1.0, 2.0, 4.0] {
+        let t = Thresholds::new(thresholds.rho_min * scale, thresholds.delta_min * scale)
+            .expect("in-domain sweep");
+        requests.push(Request::Relabel(t));
+    }
+    for p in points {
+        requests.push(Request::Assign(p.clone()));
+    }
+    requests.push(Request::Stats);
+    requests
+}
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// One canonical line per response; every float is rendered by bit pattern.
+fn render(response: &Response) -> String {
+    match response {
+        Response::Relabel(r) => format!(
+            "relabel n={} rho_min={} delta_min={} clusters={} noise={} centers={:?}",
+            r.n,
+            bits(r.thresholds.rho_min),
+            bits(r.thresholds.delta_min),
+            r.num_clusters,
+            r.noise_count,
+            r.centers,
+        ),
+        Response::Assign(a) => format!(
+            "assign n={} rho={} delta={} dependent={:?} label={} center={}",
+            a.n,
+            bits(a.rho),
+            bits(a.delta),
+            a.dependent,
+            a.label,
+            a.would_be_center,
+        ),
+        Response::Stats(s) => format!(
+            "stats n={} dim={} algorithm={} dcut={} clusters={} index_bytes={}",
+            s.n,
+            s.dim,
+            s.algorithm,
+            bits(s.dcut),
+            s.num_clusters,
+            s.index_bytes,
+        ),
+        Response::Health(_) => "health".to_string(),
+    }
+}
+
+fn transcript(server: &DpcServer, requests: &[Request]) -> String {
+    let mut out = String::new();
+    for request in requests {
+        let response = server.handle(request).expect("well-formed request");
+        out.push_str(&render(&response));
+        out.push('\n');
+    }
+    out
+}
+
+/// The battery is a pure function of the (deterministic) dataset generator
+/// and the default parameters — both legs rebuild it identically without
+/// needing the fit.
+fn fixture_requests() -> Vec<Request> {
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(N);
+    let params = default_params(&dataset, 1);
+    let thresholds = default_thresholds(params.dcut);
+    // Assign probes: dataset points nudged by fractions of d_cut, plus one
+    // far-out query that must classify as noise.
+    let mut points: Vec<Vec<f64>> = (0..8)
+        .map(|k| {
+            let base = data.point(k * (data.len() / 8));
+            base.iter().map(|c| c + params.dcut * 0.25 * (k as f64 - 4.0) / 4.0).collect()
+        })
+        .collect();
+    points.push(vec![1.0e9, -1.0e9]);
+    battery(thresholds, &points)
+}
+
+fn fit_server() -> DpcServer {
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(N);
+    let params = default_params(&dataset, 1);
+    let thresholds = default_thresholds(params.dcut);
+    DpcServer::fit(&ExDpc::new(params), data, thresholds, &Executor::single())
+        .expect("fixed-seed fit")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, dir) = match args.as_slice() {
+        [mode, dir] if mode == "--write" || mode == "--verify" => (mode.as_str(), Path::new(dir)),
+        _ => {
+            eprintln!("usage: persist_roundtrip --write <dir> | --verify <dir>");
+            std::process::exit(2);
+        }
+    };
+    let artifact_path = dir.join("snapshot.dpca");
+    let expected_path = dir.join("expected.txt");
+
+    match mode {
+        "--write" => {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let server = fit_server();
+            let requests = fixture_requests();
+            let bytes = server.store().snapshot().to_artifact_bytes();
+            write_artifact_file(&artifact_path, &bytes).expect("write artifact");
+            // Record what a server *loaded from the artifact* answers — the
+            // verify leg compares against the same loaded-from-disk path.
+            let loaded = DpcServer::open(&artifact_path).expect("reload own artifact");
+            std::fs::write(&expected_path, transcript(&loaded, &requests))
+                .expect("write expected transcript");
+            println!(
+                "wrote {} ({} bytes) and {}",
+                artifact_path.display(),
+                bytes.len(),
+                expected_path.display()
+            );
+        }
+        "--verify" => {
+            let bytes = read_artifact_file(&artifact_path).expect("read artifact");
+            let snapshot = Snapshot::from_artifact_bytes(&bytes).expect("decode artifact");
+            println!(
+                "decoded {} ({} bytes, n = {}, dim = {})",
+                artifact_path.display(),
+                bytes.len(),
+                snapshot.n(),
+                snapshot.dim()
+            );
+            let server = DpcServer::open(&artifact_path).expect("open artifact");
+            let requests = fixture_requests();
+            let actual = transcript(&server, &requests);
+            let expected = std::fs::read_to_string(&expected_path).expect("read expected");
+            if actual != expected {
+                for (i, (want, got)) in std::iter::zip(expected.lines(), actual.lines()).enumerate()
+                {
+                    if want != got {
+                        eprintln!("line {}:\n  expected: {want}\n  actual:   {got}", i + 1);
+                    }
+                }
+                eprintln!("persist round-trip FAILED: served answers diverged");
+                std::process::exit(1);
+            }
+            println!("persist round-trip OK: {} battery answers identical", requests.len());
+        }
+        _ => unreachable!(),
+    }
+}

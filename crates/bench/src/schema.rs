@@ -332,6 +332,24 @@ pub mod required {
         "serve_faulty_timeout_rate",
         "serve_faulty_degraded_rate",
     ];
+    /// `BENCH_cold_load.json` (`benches/cold_load.rs`): artifact encode,
+    /// zero-copy view parse, owned model/tree decode, the full
+    /// decode-and-install cold load, and the refit baseline it replaces —
+    /// at the base cardinality and again at `--xl-n` (`_xl`).
+    pub const COLD_LOAD: &[&str] = &[
+        "snapshot_encode",
+        "model_view",
+        "model_decode",
+        "tree_decode",
+        "snapshot_cold_load",
+        "full_refit",
+        "snapshot_encode_xl",
+        "model_view_xl",
+        "model_decode_xl",
+        "tree_decode_xl",
+        "snapshot_cold_load_xl",
+        "full_refit_xl",
+    ];
 }
 
 /// Looks a key up in an object, requiring it to be present exactly once.
@@ -573,6 +591,7 @@ mod tests {
             ("BENCH_local_density.json", "local_density", required::LOCAL_DENSITY),
             ("BENCH_e2e.json", "end_to_end", required::END_TO_END),
             ("BENCH_serve.json", "serve", required::SERVE),
+            ("BENCH_cold_load.json", "cold_load", required::COLD_LOAD),
         ] {
             let path = root.join(file);
             if let Err(e) = check_file(&path, bench, kernels) {

@@ -65,6 +65,36 @@ pub enum DpcError {
         /// What failed, e.g. `"fit panicked"` or `"injected fit failure"`.
         what: &'static str,
     },
+    /// A persisted artifact failed decode validation: bad magic, unsupported
+    /// format version, foreign endianness, a checksum mismatch, a malformed
+    /// section, or payload that violates the structural invariants of the
+    /// type being decoded. Nothing is partially loaded — a decoder returns
+    /// either a fully validated value or this error, never garbage.
+    Corrupt {
+        /// Which part of the artifact failed, e.g. `"header"` or `"tree"`.
+        section: &'static str,
+        /// What was wrong with it, e.g. `"file checksum mismatch"`.
+        what: &'static str,
+    },
+    /// A persisted artifact is shorter than its header or section table
+    /// claims — a truncated download, a partial write, or a length field
+    /// corrupted upwards. Distinct from [`DpcError::Corrupt`] so callers can
+    /// retry a transfer instead of discarding the source.
+    TruncatedArtifact {
+        /// Bytes the artifact claims to need.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Reading or writing an artifact file failed at the OS level. Carries
+    /// the operation and the OS error text (the only allocating variant —
+    /// I/O failures are never on a hot path).
+    Io {
+        /// The operation that failed, e.g. `"read snapshot artifact"`.
+        op: &'static str,
+        /// The underlying OS error, as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for DpcError {
@@ -84,6 +114,13 @@ impl fmt::Display for DpcError {
                 write!(f, "per-point array `{what}` has length {got}, expected {expected}")
             }
             DpcError::Internal { what } => write!(f, "internal error: {what}"),
+            DpcError::Corrupt { section, what } => {
+                write!(f, "corrupt artifact ({section}): {what}")
+            }
+            DpcError::TruncatedArtifact { needed, have } => {
+                write!(f, "truncated artifact: need {needed} bytes, have {have}")
+            }
+            DpcError::Io { op, message } => write!(f, "i/o error ({op}): {message}"),
         }
     }
 }
@@ -116,6 +153,18 @@ mod tests {
 
         let e = DpcError::Internal { what: "fit panicked" };
         assert!(e.to_string().contains("fit panicked"), "{e}");
+
+        let e = DpcError::Corrupt { section: "header", what: "bad magic" };
+        let msg = e.to_string();
+        assert!(msg.contains("header") && msg.contains("bad magic"), "{msg}");
+
+        let e = DpcError::TruncatedArtifact { needed: 64, have: 12 };
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("12"), "{msg}");
+
+        let e = DpcError::Io { op: "read snapshot artifact", message: "no such file".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("read snapshot artifact") && msg.contains("no such file"), "{msg}");
     }
 
     #[test]

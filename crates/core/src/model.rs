@@ -71,6 +71,70 @@ impl DpcModel {
         Ok(Self { algorithm, dcut, rho, delta, dependent, order, fit_timings, index_bytes })
     }
 
+    /// Reassembles a model from *persisted* parts, including the density
+    /// order that was computed when the model was first fitted — the loader
+    /// counterpart of [`DpcModel::from_parts`], used by `dpc-persist` so a
+    /// cold load neither re-sorts the order nor risks re-deriving a different
+    /// tie-break than the original fit.
+    ///
+    /// The saved order is validated, not trusted: it must be a permutation of
+    /// `0..n` and must visit densities in non-increasing order (exactly what
+    /// [`DpcModel::from_parts`] produces), and every dependent identifier
+    /// must be in range. A violation means the artifact does not describe a
+    /// model this type could ever have produced.
+    ///
+    /// # Errors
+    /// [`DpcError::DimensionMismatch`] when the arrays disagree in length;
+    /// [`DpcError::Corrupt`] when `order` is not a valid density order or a
+    /// dependent identifier is out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_saved_parts(
+        algorithm: &'static str,
+        dcut: f64,
+        rho: Vec<f64>,
+        delta: Vec<f64>,
+        dependent: Vec<usize>,
+        order: Vec<usize>,
+        fit_timings: Timings,
+        index_bytes: usize,
+    ) -> Result<Self, DpcError> {
+        let n = rho.len();
+        for (what, len) in [("delta", delta.len()), ("dependent", dependent.len())] {
+            if len != n {
+                return Err(DpcError::DimensionMismatch { what, expected: n, got: len });
+            }
+        }
+        if order.len() != n {
+            return Err(DpcError::DimensionMismatch {
+                what: "order",
+                expected: n,
+                got: order.len(),
+            });
+        }
+        if dependent.iter().any(|&q| q >= n) {
+            return Err(DpcError::Corrupt {
+                section: "model",
+                what: "dependent point identifier out of range",
+            });
+        }
+        let mut seen = vec![false; n];
+        for &i in &order {
+            if i >= n || std::mem::replace(&mut seen[i], true) {
+                return Err(DpcError::Corrupt {
+                    section: "model",
+                    what: "density order is not a permutation",
+                });
+            }
+        }
+        if order.windows(2).any(|w| rho[w[1]] > rho[w[0]]) {
+            return Err(DpcError::Corrupt {
+                section: "model",
+                what: "density order visits an increasing density",
+            });
+        }
+        Ok(Self { algorithm, dcut, rho, delta, dependent, order, fit_timings, index_bytes })
+    }
+
     /// Name of the algorithm that fitted this model.
     pub fn algorithm(&self) -> &'static str {
         self.algorithm
@@ -162,6 +226,27 @@ impl DpcModel {
     /// Approximate heap bytes of the index structures built during the fit.
     pub fn index_bytes(&self) -> usize {
         self.index_bytes
+    }
+
+    /// Bitwise layout equality: same algorithm name, same `d_cut`, and
+    /// bit-identical `ρ`/`δ`/dependent/order arrays plus index-byte
+    /// accounting. Floats are compared by bit pattern (`to_bits`), so NaN
+    /// payloads, `±0.0` and subnormals all count — this is the contract the
+    /// persistence round-trip tests pin, mirroring `KdTree::layout_eq` and
+    /// `Grid::layout_eq`.
+    ///
+    /// [`Timings`] are deliberately excluded: they are wall-clock provenance
+    /// of one particular fit, not part of the model's layout, and can never
+    /// match between a fresh fit and a decoded artifact.
+    pub fn layout_eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.dcut.to_bits() == other.dcut.to_bits()
+            && self.rho.len() == other.rho.len()
+            && self.index_bytes == other.index_bytes
+            && self.rho.iter().zip(&other.rho).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.delta.iter().zip(&other.delta).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.dependent == other.dependent
+            && self.order == other.order
     }
 
     /// Builds the decision graph (the `⟨ρ_i, δ_i⟩` scatter of Figure 1) — the
@@ -315,5 +400,99 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DpcError::DimensionMismatch { what: "dependent", .. }), "{err:?}");
+    }
+
+    #[test]
+    fn from_saved_parts_round_trips_a_model() {
+        let m = toy_model();
+        let saved = DpcModel::from_saved_parts(
+            m.algorithm(),
+            m.dcut(),
+            m.rho().to_vec(),
+            m.delta().to_vec(),
+            m.dependent().to_vec(),
+            m.density_order().to_vec(),
+            Timings::default(), // timings are provenance, not layout
+            m.index_bytes(),
+        )
+        .unwrap();
+        assert!(saved.layout_eq(&m));
+        assert!(m.layout_eq(&saved));
+        assert_eq!(saved.density_order(), m.density_order());
+    }
+
+    #[test]
+    fn from_saved_parts_rejects_invalid_orders() {
+        let m = toy_model();
+        let build = |order: Vec<usize>| {
+            DpcModel::from_saved_parts(
+                m.algorithm(),
+                m.dcut(),
+                m.rho().to_vec(),
+                m.delta().to_vec(),
+                m.dependent().to_vec(),
+                order,
+                Timings::default(),
+                m.index_bytes(),
+            )
+        };
+        // Wrong length.
+        let err = build(vec![0, 1]).unwrap_err();
+        assert!(matches!(err, DpcError::DimensionMismatch { what: "order", .. }), "{err:?}");
+        // Duplicate entry (not a permutation).
+        let err = build(vec![0, 0, 1, 2, 3, 5]).unwrap_err();
+        assert!(matches!(err, DpcError::Corrupt { section: "model", .. }), "{err:?}");
+        // Out-of-range entry.
+        let err = build(vec![0, 4, 1, 2, 3, 6]).unwrap_err();
+        assert!(matches!(err, DpcError::Corrupt { section: "model", .. }), "{err:?}");
+        // A true permutation that visits densities out of order.
+        let err = build(vec![5, 3, 2, 1, 4, 0]).unwrap_err();
+        assert!(matches!(err, DpcError::Corrupt { section: "model", .. }), "{err:?}");
+        // An out-of-range dependent id is also refused.
+        let err = DpcModel::from_saved_parts(
+            m.algorithm(),
+            m.dcut(),
+            m.rho().to_vec(),
+            m.delta().to_vec(),
+            vec![0, 0, 1, 5, 0, 99],
+            m.density_order().to_vec(),
+            Timings::default(),
+            m.index_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpcError::Corrupt { section: "model", .. }), "{err:?}");
+    }
+
+    #[test]
+    fn layout_eq_ignores_timings_but_not_content() {
+        let m = toy_model();
+        let mut parts = (
+            m.rho().to_vec(),
+            m.delta().to_vec(),
+            m.dependent().to_vec(),
+            m.density_order().to_vec(),
+        );
+        let rebuild = |p: &(Vec<f64>, Vec<f64>, Vec<usize>, Vec<usize>)| {
+            DpcModel::from_saved_parts(
+                m.algorithm(),
+                m.dcut(),
+                p.0.clone(),
+                p.1.clone(),
+                p.2.clone(),
+                p.3.clone(),
+                Timings { rho_secs: 99.0, delta_secs: 99.0, assign_secs: 99.0 },
+                m.index_bytes(),
+            )
+            .unwrap()
+        };
+        assert!(rebuild(&parts).layout_eq(&m), "timings must not affect layout_eq");
+        // ±0.0 differ bitwise: flipping a delta from +0.0 to -0.0 must break
+        // equality even though `==` would accept it.
+        parts.1[3] = 0.0;
+        let plus = rebuild(&parts);
+        parts.1[3] = -0.0;
+        let minus = rebuild(&parts);
+        assert!(!plus.layout_eq(&minus));
+        assert!(plus.layout_eq(&plus.clone()));
     }
 }

@@ -67,7 +67,7 @@ pub const LEAF_BUCKET: usize = 16;
 /// that pushes both children keeps at most depth + 1 entries.
 const STACK_CAP: usize = 64;
 
-const NONE: u32 = u32::MAX;
+const NONE: u32 = PackedNode::NO_CHILD;
 
 /// Minimum number of points in a range before the build forks it: below this
 /// the ~10–30 µs cost of spawning a scoped thread exceeds the work handed
@@ -82,12 +82,34 @@ const MAX_FORK_LEVELS: usize = 8;
 /// One flat tree node. The node covers packed positions `start..end`; its
 /// subtree size is `end - start`. Inner nodes have their left child at the
 /// next node index (preorder layout) and `right` holds the right child; leaves
-/// have `right == NONE`.
-#[derive(Clone, Debug)]
-struct Node {
-    start: u32,
-    end: u32,
-    right: u32,
+/// have `right == `[`PackedNode::NO_CHILD`].
+///
+/// The type is `#[repr(C)]` with three `u32` fields — 12 bytes, no padding,
+/// every bit pattern a valid value — so a persisted node array can be
+/// reinterpreted from raw bytes (the zero-copy load path of `dpc-persist`)
+/// before semantic validation runs.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedNode {
+    /// First packed position covered by this node's subtree.
+    pub start: u32,
+    /// One past the last packed position covered by this node's subtree.
+    pub end: u32,
+    /// Preorder index of the right child, or [`PackedNode::NO_CHILD`] for a
+    /// leaf. The left child is always at the next preorder index.
+    pub right: u32,
+}
+
+impl PackedNode {
+    /// Sentinel `right` value marking a leaf (and, in position maps, a point
+    /// that is not indexed).
+    pub const NO_CHILD: u32 = u32::MAX;
+
+    /// Whether this node is a leaf bucket (no children).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.right == Self::NO_CHILD
+    }
 }
 
 /// A packed static kd-tree over the points of a borrowed [`Dataset`].
@@ -104,7 +126,7 @@ pub struct KdTree<'a> {
     /// cost `O(data.len())` per subset tree otherwise); used for the `O(1)`
     /// "is the excluded point inside this subtree" test.
     pos: Option<Vec<u32>>,
-    nodes: Vec<Node>,
+    nodes: Vec<PackedNode>,
     /// Per-node bounding boxes: `dim` lows then `dim` highs per node.
     bounds: Vec<f64>,
 }
@@ -165,7 +187,7 @@ impl<'a> KdTree<'a> {
         // all storage can be reserved exactly and written in place — which is
         // what lets independent subtrees be built by different workers.
         let total_nodes = subtree_nodes(n);
-        let mut nodes = vec![Node { start: 0, end: 0, right: NONE }; total_nodes];
+        let mut nodes = vec![PackedNode { start: 0, end: 0, right: NONE }; total_nodes];
         let mut bounds = vec![0.0f64; total_nodes * 2 * dim];
         let mut coords = vec![0.0f64; n * dim];
         let fork_levels = fork_levels(executor.threads(), n);
@@ -195,6 +217,221 @@ impl<'a> KdTree<'a> {
         self.ids.is_empty()
     }
 
+    /// Borrowed view of the packed storage: everything a query needs, nothing
+    /// that owns an allocation. Queries on the view answer identically to the
+    /// same queries on the tree — the tree's own query methods delegate to it
+    /// — and `dpc-persist` builds the same view over a decoded byte buffer to
+    /// serve queries zero-copy, straight off the artifact bytes.
+    pub fn packed_parts(&self) -> PackedParts<'_> {
+        PackedParts {
+            dim: self.dim,
+            ids: &self.ids,
+            coords: &self.coords,
+            pos: self.pos.as_deref(),
+            nodes: &self.nodes,
+            bounds: &self.bounds,
+        }
+    }
+
+    /// Counts points whose distance to `query` is **at most** `radius` (closed
+    /// ball, Definition 1), **excluding** the point whose identifier equals
+    /// `exclude` (pass `None` to count every point).
+    ///
+    /// This is the local-density primitive: Ex-DPC calls it once per point with
+    /// `exclude = Some(i)` so that a point does not count itself. A negative or
+    /// NaN radius counts nothing; radius `0` counts exact duplicates.
+    pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
+        self.packed_parts().range_count(query, radius, exclude)
+    }
+
+    /// Collects the identifiers of points whose distance to `query` is at most
+    /// `radius` (closed ball). The query point itself (if it is indexed) is
+    /// included because its distance is zero; callers that need to exclude it
+    /// filter by id.
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.range_search_into(query, radius, &mut out);
+        out
+    }
+
+    /// Same as [`KdTree::range_search`] but appends into a caller-provided
+    /// buffer, allowing reuse across many queries (the joint range search of
+    /// Approx-DPC issues one query per cell). The buffer is cleared first.
+    ///
+    /// Result order follows the packed layout, not point-identifier order.
+    pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
+        self.packed_parts().range_search_into(query, radius, out);
+    }
+
+    /// Finds the nearest neighbour of `query` among the indexed points,
+    /// excluding the point whose identifier equals `exclude` (if given).
+    ///
+    /// Returns `(point id, distance)` or `None` when the tree is empty (or only
+    /// contains the excluded point).
+    pub fn nearest_neighbor(&self, query: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
+        self.packed_parts().nearest_neighbor(query, exclude)
+    }
+
+    /// The backing dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Whether two trees have bit-identical packed layouts: same permuted
+    /// identifiers, packed coordinate rows, preorder nodes and bounding boxes
+    /// (floats compared by bit pattern, so even a `-0.0` vs `0.0` discrepancy
+    /// fails). This is the property the parallel build guarantees against the
+    /// serial build at every thread count, and what the determinism tests
+    /// assert.
+    pub fn layout_eq(&self, other: &Self) -> bool {
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && std::iter::zip(a, b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.dim == other.dim
+            && self.ids == other.ids
+            && bits_eq(&self.coords, &other.coords)
+            && self.nodes == other.nodes
+            && bits_eq(&self.bounds, &other.bounds)
+            && self.pos == other.pos
+    }
+
+    /// Approximate heap memory used by the index, in bytes (packed ids and
+    /// coordinates, position map, nodes, and bounding boxes; the original
+    /// coordinates belong to the dataset).
+    pub fn mem_usage(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u32>()
+            + self.coords.capacity() * std::mem::size_of::<f64>()
+            + self.pos.as_ref().map_or(0, |p| p.capacity() * std::mem::size_of::<u32>())
+            + self.nodes.capacity() * std::mem::size_of::<PackedNode>()
+            + self.bounds.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Reassembles a tree from decoded packed storage — the loader
+    /// counterpart of [`KdTree::build`], used by `dpc-persist`.
+    ///
+    /// Nothing is trusted. The node array must equal
+    /// [`canonical_node_layout`] for the point count exactly (the build's
+    /// shape is a pure function of `n`, so every genuine artifact matches it
+    /// — and a canonical shape is what keeps the fixed traversal stacks in
+    /// bounds on decoded input); `ids` must index distinct points of `data`;
+    /// every packed coordinate row must equal its dataset row bitwise; the
+    /// position map, when present, must be the exact inverse of `ids`; and
+    /// every node's bounding box must be the box the build computes over the
+    /// node's packed range. A tree that passes is [`KdTree::layout_eq`] to a
+    /// fresh build over the same points.
+    ///
+    /// # Errors
+    /// A static description of the first violated invariant, for the caller
+    /// to wrap in its own error type.
+    pub fn from_packed_parts(
+        data: &'a Dataset,
+        ids: Vec<u32>,
+        coords: Vec<f64>,
+        pos: Option<Vec<u32>>,
+        nodes: Vec<PackedNode>,
+        bounds: Vec<f64>,
+    ) -> Result<Self, &'static str> {
+        let dim = data.dim();
+        let n = ids.len();
+        if coords.len() != n * dim {
+            return Err("packed coordinate buffer length disagrees with the id count");
+        }
+        if nodes != canonical_node_layout(n) {
+            return Err("node array is not the canonical layout for the point count");
+        }
+        if bounds.len() != nodes.len() * 2 * dim {
+            return Err("bounds buffer length disagrees with the node count");
+        }
+        let mut seen = vec![false; data.len()];
+        for (k, &id) in ids.iter().enumerate() {
+            let Some(slot) = seen.get_mut(id as usize) else {
+                return Err("packed id out of range of the dataset");
+            };
+            if std::mem::replace(slot, true) {
+                return Err("duplicate packed id");
+            }
+            let row = &coords[k * dim..(k + 1) * dim];
+            let point = data.point(id as usize);
+            if std::iter::zip(row, point).any(|(a, b)| a.to_bits() != b.to_bits()) {
+                return Err("packed coordinate row disagrees with its dataset point");
+            }
+        }
+        if let Some(pos) = &pos {
+            if pos.len() != data.len() {
+                return Err("position map length disagrees with the dataset");
+            }
+            let mut expected = vec![NONE; data.len()];
+            for (k, &id) in ids.iter().enumerate() {
+                expected[id as usize] = k as u32;
+            }
+            if *pos != expected {
+                return Err("position map is not the inverse of the packed ids");
+            }
+        }
+        // Recompute every node's box the way the build does and demand
+        // agreement. Bitwise except for one carve-out: the build folds its
+        // min/max over pre-split id order, this check over packed order, and
+        // the two can keep different representatives of a `±0.0` tie — so a
+        // numerically equal bound is accepted too (`0.0 == -0.0`, while any
+        // actually-different bound compares unequal both ways).
+        let bound_eq = |a: f64, b: f64| a.to_bits() == b.to_bits() || a == b;
+        let mut lo = vec![0.0f64; dim];
+        let mut hi = vec![0.0f64; dim];
+        for (idx, node) in nodes.iter().enumerate() {
+            lo.fill(f64::INFINITY);
+            hi.fill(f64::NEG_INFINITY);
+            let rows = &coords[node.start as usize * dim..node.end as usize * dim];
+            for row in rows.chunks_exact(dim) {
+                for a in 0..dim {
+                    if row[a] < lo[a] {
+                        lo[a] = row[a];
+                    }
+                    if row[a] > hi[a] {
+                        hi[a] = row[a];
+                    }
+                }
+            }
+            let b = &bounds[idx * 2 * dim..(idx + 1) * 2 * dim];
+            let lo_ok = std::iter::zip(&lo, &b[..dim]).all(|(&w, &g)| bound_eq(w, g));
+            let hi_ok = std::iter::zip(&hi, &b[dim..]).all(|(&w, &g)| bound_eq(w, g));
+            if !lo_ok || !hi_ok {
+                return Err("node bounding box disagrees with its packed points");
+            }
+        }
+        Ok(Self { data, dim, ids, coords, pos, nodes, bounds })
+    }
+}
+
+/// A borrowed view of a packed kd-tree's storage — the five flat buffers plus
+/// the dimensionality, with no owning allocation in sight. All three query
+/// algorithms live here; [`KdTree`] delegates to its own view, and the
+/// zero-copy decoded views of `dpc-persist` construct one directly over
+/// artifact bytes to answer queries without materialising a tree.
+///
+/// The view does **not** re-validate its buffers — constructing one from
+/// untrusted data without the checks [`KdTree::from_packed_parts`] performs
+/// can give wrong answers or panic on out-of-bounds indices (never undefined
+/// behaviour). Obtain views from [`KdTree::packed_parts`] or from a decoder
+/// that has already validated the storage.
+#[derive(Clone, Copy)]
+pub struct PackedParts<'t> {
+    /// Point dimensionality; coordinate rows and per-node boxes are `dim` and
+    /// `2·dim` values wide respectively.
+    pub dim: usize,
+    /// Point identifiers in packed (partition) order.
+    pub ids: &'t [u32],
+    /// Coordinates of `ids` in the same order, row-major.
+    pub coords: &'t [f64],
+    /// `pos[id]` = packed position of point `id`, [`PackedNode::NO_CHILD`]
+    /// when unindexed; `None` on subset trees.
+    pub pos: Option<&'t [u32]>,
+    /// Preorder node array.
+    pub nodes: &'t [PackedNode],
+    /// Per-node bounding boxes: `dim` lows then `dim` highs per node.
+    pub bounds: &'t [f64],
+}
+
+impl PackedParts<'_> {
     /// The bounding box `(lo, hi)` of node `idx`.
     #[inline]
     fn node_bounds(&self, idx: usize) -> (&[f64], &[f64]) {
@@ -211,7 +448,7 @@ impl<'a> KdTree<'a> {
         if excl_id == NONE {
             return None;
         }
-        match &self.pos {
+        match self.pos {
             Some(pos) => match pos.get(excl_id as usize) {
                 Some(&p) if p != NONE && (p as usize) >= start && (p as usize) < end => {
                     Some(p as usize)
@@ -222,13 +459,9 @@ impl<'a> KdTree<'a> {
         }
     }
 
-    /// Counts points whose distance to `query` is **at most** `radius` (closed
-    /// ball, Definition 1), **excluding** the point whose identifier equals
-    /// `exclude` (pass `None` to count every point).
-    ///
-    /// This is the local-density primitive: Ex-DPC calls it once per point with
-    /// `exclude = Some(i)` so that a point does not count itself. A negative or
-    /// NaN radius counts nothing; radius `0` counts exact duplicates.
+    /// Counts points whose distance to `query` is at most `radius` (closed
+    /// ball), excluding the point whose identifier equals `exclude`. See
+    /// [`KdTree::range_count`].
     pub fn range_count(&self, query: &[f64], radius: f64, exclude: Option<usize>) -> usize {
         if self.ids.is_empty() || radius.is_nan() || radius < 0.0 {
             return 0;
@@ -274,21 +507,9 @@ impl<'a> KdTree<'a> {
         count
     }
 
-    /// Collects the identifiers of points whose distance to `query` is at most
-    /// `radius` (closed ball). The query point itself (if it is indexed) is
-    /// included because its distance is zero; callers that need to exclude it
-    /// filter by id.
-    pub fn range_search(&self, query: &[f64], radius: f64) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.range_search_into(query, radius, &mut out);
-        out
-    }
-
-    /// Same as [`KdTree::range_search`] but appends into a caller-provided
-    /// buffer, allowing reuse across many queries (the joint range search of
-    /// Approx-DPC issues one query per cell). The buffer is cleared first.
-    ///
-    /// Result order follows the packed layout, not point-identifier order.
+    /// Appends the identifiers of points whose distance to `query` is at most
+    /// `radius` (closed ball) into `out`, clearing it first. See
+    /// [`KdTree::range_search_into`].
     pub fn range_search_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
         out.clear();
         if self.ids.is_empty() || radius.is_nan() || radius < 0.0 {
@@ -329,10 +550,8 @@ impl<'a> KdTree<'a> {
     }
 
     /// Finds the nearest neighbour of `query` among the indexed points,
-    /// excluding the point whose identifier equals `exclude` (if given).
-    ///
-    /// Returns `(point id, distance)` or `None` when the tree is empty (or only
-    /// contains the excluded point).
+    /// excluding the point whose identifier equals `exclude` (if given). See
+    /// [`KdTree::nearest_neighbor`].
     pub fn nearest_neighbor(&self, query: &[f64], exclude: Option<usize>) -> Option<(usize, f64)> {
         if self.ids.is_empty() {
             return None;
@@ -389,42 +608,6 @@ impl<'a> KdTree<'a> {
             Some((best_id as usize, best_d.sqrt()))
         }
     }
-
-    /// The backing dataset.
-    pub fn dataset(&self) -> &'a Dataset {
-        self.data
-    }
-
-    /// Whether two trees have bit-identical packed layouts: same permuted
-    /// identifiers, packed coordinate rows, preorder nodes and bounding boxes
-    /// (floats compared by bit pattern, so even a `-0.0` vs `0.0` discrepancy
-    /// fails). This is the property the parallel build guarantees against the
-    /// serial build at every thread count, and what the determinism tests
-    /// assert.
-    pub fn layout_eq(&self, other: &Self) -> bool {
-        let bits_eq = |a: &[f64], b: &[f64]| {
-            a.len() == b.len() && std::iter::zip(a, b).all(|(x, y)| x.to_bits() == y.to_bits())
-        };
-        self.dim == other.dim
-            && self.ids == other.ids
-            && bits_eq(&self.coords, &other.coords)
-            && self.nodes.len() == other.nodes.len()
-            && std::iter::zip(&self.nodes, &other.nodes)
-                .all(|(a, b)| a.start == b.start && a.end == b.end && a.right == b.right)
-            && bits_eq(&self.bounds, &other.bounds)
-            && self.pos == other.pos
-    }
-
-    /// Approximate heap memory used by the index, in bytes (packed ids and
-    /// coordinates, position map, nodes, and bounding boxes; the original
-    /// coordinates belong to the dataset).
-    pub fn mem_usage(&self) -> usize {
-        self.ids.capacity() * std::mem::size_of::<u32>()
-            + self.coords.capacity() * std::mem::size_of::<f64>()
-            + self.pos.as_ref().map_or(0, |p| p.capacity() * std::mem::size_of::<u32>())
-            + self.nodes.capacity() * std::mem::size_of::<Node>()
-            + self.bounds.capacity() * std::mem::size_of::<f64>()
-    }
 }
 
 /// Number of preorder nodes a packed subtree over `m` points occupies. A
@@ -439,6 +622,46 @@ fn subtree_nodes(m: usize) -> usize {
         let left = m / 2;
         1 + subtree_nodes(left) + subtree_nodes(m - left)
     }
+}
+
+/// Number of preorder nodes a build over `n` points creates (zero for an
+/// empty tree) — the public counterpart of the internal recursion count, so
+/// decoders can size-check a persisted node array up front.
+pub fn packed_node_count(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        subtree_nodes(n)
+    }
+}
+
+/// The exact preorder node array a build over `n` points produces. The median
+/// split always puts `⌊m/2⌋` points in the left child, so every node's packed
+/// range and right-child index is a pure function of `n` alone — no
+/// coordinates involved. [`KdTree::from_packed_parts`] compares a persisted
+/// node array against this layout, which rejects every structurally corrupt
+/// tree in one stroke and is what keeps the fixed traversal stacks in bounds
+/// on decoded input.
+pub fn canonical_node_layout(n: usize) -> Vec<PackedNode> {
+    fn rec(nodes: &mut Vec<PackedNode>, offset: usize, m: usize) {
+        let here = nodes.len();
+        nodes.push(PackedNode {
+            start: offset as u32,
+            end: (offset + m) as u32,
+            right: PackedNode::NO_CHILD,
+        });
+        if m > LEAF_BUCKET {
+            let mid = m / 2;
+            rec(nodes, offset, mid);
+            nodes[here].right = nodes.len() as u32;
+            rec(nodes, offset + mid, m - mid);
+        }
+    }
+    let mut nodes = Vec::with_capacity(packed_node_count(n));
+    if n > 0 {
+        rec(&mut nodes, 0, n);
+    }
+    nodes
 }
 
 /// Fork depth for a parallel build: `⌈log₂ threads⌉` levels, so every
@@ -469,7 +692,7 @@ struct BuildCtx<'a, 'e> {
 struct Subtree<'t> {
     ids: &'t mut [u32],
     coords: &'t mut [f64],
-    nodes: &'t mut [Node],
+    nodes: &'t mut [PackedNode],
     bounds: &'t mut [f64],
     offset: usize,
     node_base: u32,
@@ -486,7 +709,8 @@ struct Subtree<'t> {
 fn build_rec(ctx: &BuildCtx<'_, '_>, sub: Subtree<'_>, fork_levels: usize) -> usize {
     let dim = ctx.dim;
     let m = sub.ids.len();
-    sub.nodes[0] = Node { start: sub.offset as u32, end: (sub.offset + m) as u32, right: NONE };
+    sub.nodes[0] =
+        PackedNode { start: sub.offset as u32, end: (sub.offset + m) as u32, right: NONE };
     let (bbox, child_bounds) = sub.bounds.split_at_mut(2 * dim);
     bbox[..dim].fill(f64::INFINITY);
     bbox[dim..].fill(f64::NEG_INFINITY);
@@ -898,6 +1122,145 @@ mod tests {
         assert!(!a.layout_eq(&b));
         assert!(!a.layout_eq(&c));
         assert!(a.layout_eq(&a));
+    }
+
+    type OwnedParts = (Vec<u32>, Vec<f64>, Option<Vec<u32>>, Vec<PackedNode>, Vec<f64>);
+
+    /// Destructure a tree into owned copies of its packed storage, the way a
+    /// decoder hands parts back to [`KdTree::from_packed_parts`].
+    fn parts_of(tree: &KdTree<'_>) -> OwnedParts {
+        let p = tree.packed_parts();
+        (
+            p.ids.to_vec(),
+            p.coords.to_vec(),
+            p.pos.map(<[u32]>::to_vec),
+            p.nodes.to_vec(),
+            p.bounds.to_vec(),
+        )
+    }
+
+    #[test]
+    fn canonical_node_layout_matches_real_builds() {
+        assert!(canonical_node_layout(0).is_empty());
+        assert_eq!(packed_node_count(0), 0);
+        for (n, seed) in
+            [(1usize, 1u64), (LEAF_BUCKET, 2), (LEAF_BUCKET + 1, 3), (500, 4), (4099, 5)]
+        {
+            let ds = random_dataset(n, 2, seed);
+            let tree = KdTree::build(&ds);
+            let canon = canonical_node_layout(n);
+            assert_eq!(canon.len(), packed_node_count(n), "n = {n}");
+            assert_eq!(tree.nodes, canon, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn from_packed_parts_round_trips_builds() {
+        for (n, dim, seed) in [(0usize, 2usize, 1u64), (7, 3, 2), (500, 2, 3), (2000, 8, 4)] {
+            let ds = random_dataset(n, dim, seed);
+            let tree = KdTree::build(&ds);
+            let (ids, coords, pos, nodes, bounds) = parts_of(&tree);
+            let rebuilt = KdTree::from_packed_parts(&ds, ids, coords, pos, nodes, bounds).unwrap();
+            assert!(rebuilt.layout_eq(&tree), "n = {n}, dim = {dim}");
+        }
+        // Subset trees (no position map) round-trip too.
+        let ds = random_dataset(120, 2, 9);
+        let subset: Vec<usize> = (0..120).step_by(3).collect();
+        let tree = KdTree::build_subset(&ds, &subset);
+        let (ids, coords, pos, nodes, bounds) = parts_of(&tree);
+        assert!(pos.is_none());
+        let rebuilt = KdTree::from_packed_parts(&ds, ids, coords, pos, nodes, bounds).unwrap();
+        assert!(rebuilt.layout_eq(&tree));
+    }
+
+    #[test]
+    fn from_packed_parts_round_trips_signed_zero_and_duplicates() {
+        // ±0.0 coordinates: the bounds check must accept the build's own
+        // boxes whichever zero representative they kept.
+        let mut coords = vec![0.0f64; 2 * 4 * LEAF_BUCKET];
+        for (i, c) in coords.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *c = -0.0;
+            }
+        }
+        coords.extend_from_slice(&[1.0, -1.0, 5.0e-324, -5.0e-324]); // subnormals
+        let ds = Dataset::from_flat(2, coords);
+        let tree = KdTree::build(&ds);
+        let (ids, coords, pos, nodes, bounds) = parts_of(&tree);
+        let rebuilt = KdTree::from_packed_parts(&ds, ids, coords, pos, nodes, bounds).unwrap();
+        assert!(rebuilt.layout_eq(&tree));
+    }
+
+    #[test]
+    fn from_packed_parts_rejects_tampered_storage() {
+        let ds = random_dataset(300, 2, 6);
+        let tree = KdTree::build(&ds);
+        let parts = parts_of(&tree);
+
+        // Baseline sanity: unmodified parts are accepted.
+        let (i0, c0, p0, n0, b0) = parts.clone();
+        assert!(KdTree::from_packed_parts(&ds, i0, c0, p0, n0, b0).is_ok());
+
+        // A duplicated id.
+        let (mut ids, c, p, n, b) = parts.clone();
+        ids[0] = ids[1];
+        assert!(KdTree::from_packed_parts(&ds, ids, c, p, n, b).is_err());
+
+        // An out-of-range id.
+        let (mut ids, c, p, n, b) = parts.clone();
+        ids[5] = 300;
+        assert!(KdTree::from_packed_parts(&ds, ids, c, p, n, b).is_err());
+
+        // A coordinate that disagrees with the dataset (single bit flip).
+        let (i, mut c, p, n, b) = parts.clone();
+        c[17] = f64::from_bits(c[17].to_bits() ^ 1);
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+
+        // A non-canonical node (range widened by one).
+        let (i, c, p, mut n, b) = parts.clone();
+        n[1].end += 1;
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+
+        // A right-child index pointing at itself (would loop forever if run).
+        let (i, c, p, mut n, b) = parts.clone();
+        n[0].right = 0;
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+
+        // A bounding box that no longer covers its points.
+        let (i, c, p, n, mut b) = parts.clone();
+        b[0] += 1.0;
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+
+        // A corrupted position map entry.
+        let (i, c, p, n, b) = parts.clone();
+        let mut p = p.unwrap();
+        p.swap(0, 1);
+        assert!(KdTree::from_packed_parts(&ds, i, c, Some(p), n, b).is_err());
+
+        // Truncated buffers.
+        let (i, mut c, p, n, b) = parts.clone();
+        c.pop();
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+        let (i, c, p, n, mut b) = parts.clone();
+        b.pop();
+        assert!(KdTree::from_packed_parts(&ds, i, c, p, n, b).is_err());
+    }
+
+    #[test]
+    fn packed_parts_view_answers_like_the_tree() {
+        let ds = random_dataset(600, 3, 23);
+        let tree = KdTree::build(&ds);
+        let view = tree.packed_parts();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = Vec::new();
+        for _ in 0..40 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let r = rng.gen_range(1.0..40.0);
+            assert_eq!(view.range_count(&q, r, Some(3)), tree.range_count(&q, r, Some(3)));
+            view.range_search_into(&q, r, &mut buf);
+            assert_eq!(buf, tree.range_search(&q, r));
+            assert_eq!(view.nearest_neighbor(&q, None), tree.nearest_neighbor(&q, None));
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod rtree;
 
 pub use grid::{CellId, Grid};
 pub use incremental::IncrementalKdTree;
-pub use kdtree::KdTree;
+pub use kdtree::{canonical_node_layout, packed_node_count, KdTree, PackedNode, PackedParts};
 pub use rtree::RTree;
 
 /// Brute-force reference implementations shared by the kd-tree test modules.

@@ -1,0 +1,207 @@
+//! Model persistence: encoding a [`DpcModel`] into artifact sections, and the
+//! zero-copy [`ModelRef`] view over decoded bytes.
+
+use std::borrow::Cow;
+
+use dpc_core::{DpcError, DpcModel, Timings};
+
+use crate::format::{kind, view_slice, ArtifactWriter, Cursor, PayloadExt, Sections};
+
+/// Algorithm names a decoded artifact is expected to carry. [`DpcModel`]
+/// stores its algorithm as `&'static str`, so loading interns against this
+/// list; an unknown (but checksummed and UTF-8 valid) name falls back to a
+/// one-time `Box::leak` — bounded by the number of *distinct* unknown names
+/// ever loaded, which for any real deployment is zero.
+static KNOWN_ALGORITHMS: &[&str] =
+    &["Ex-DPC", "Approx-DPC", "S-Approx-DPC", "CFSFDP-A", "LSH-DDP", "R-tree + Scan", "Scan"];
+
+pub(crate) fn intern_algorithm(name: &str) -> &'static str {
+    match KNOWN_ALGORITHMS.iter().find(|&&known| known == name) {
+        Some(&known) => known,
+        None => Box::leak(name.to_owned().into_boxed_str()),
+    }
+}
+
+/// Appends the five model sections to an artifact under construction. Shared
+/// by the standalone model artifact and the combined snapshot artifact.
+pub(crate) fn write_model_sections(writer: &mut ArtifactWriter, model: &DpcModel) {
+    let timings = model.fit_timings();
+    let mut meta = Vec::new();
+    meta.put_f64(model.dcut());
+    meta.put_u64(model.n() as u64);
+    meta.put_u64(model.index_bytes() as u64);
+    meta.put_f64(timings.rho_secs);
+    meta.put_f64(timings.delta_secs);
+    meta.put_f64(timings.assign_secs);
+    let name = model.algorithm().as_bytes();
+    meta.put_u64(name.len() as u64);
+    meta.extend_from_slice(name);
+    writer.section(kind::MODEL_META, meta);
+
+    let mut rho = Vec::new();
+    rho.put_f64_slice(model.rho());
+    writer.section(kind::MODEL_RHO, rho);
+    let mut delta = Vec::new();
+    delta.put_f64_slice(model.delta());
+    writer.section(kind::MODEL_DELTA, delta);
+    let mut dependent = Vec::new();
+    dependent.put_u64_slice_from_usize(model.dependent());
+    writer.section(kind::MODEL_DEPENDENT, dependent);
+    let mut order = Vec::new();
+    order.put_u64_slice_from_usize(model.density_order());
+    writer.section(kind::MODEL_ORDER, order);
+}
+
+/// A zero-copy view of a persisted model: the header and section table have
+/// been validated (checksums included) and the per-point arrays are served
+/// straight off the artifact bytes when their sections are 8-aligned in
+/// memory — which the writer guarantees, so any decode of a whole artifact
+/// buffer borrows; only slices starting mid-buffer pay the documented copy
+/// fallback (see [`ModelRef::is_zero_copy`]).
+///
+/// Array lengths and the range of every dependent identifier are validated at
+/// parse time, so the accessors are panic-free on any identifier `< n()`.
+/// Converting to an owned [`DpcModel`] with [`ModelRef::to_model`] re-runs
+/// the full structural validation (`from_saved_parts`) on top.
+pub struct ModelRef<'a> {
+    algorithm: &'a str,
+    dcut: f64,
+    index_bytes: usize,
+    timings: Timings,
+    rho: Cow<'a, [f64]>,
+    delta: Cow<'a, [f64]>,
+    dependent: Cow<'a, [u64]>,
+    order: Cow<'a, [u64]>,
+}
+
+impl<'a> ModelRef<'a> {
+    /// Parses the model sections out of a validated section table.
+    pub(crate) fn from_sections(sections: &Sections<'a>) -> Result<Self, DpcError> {
+        let mut meta = Cursor::new(sections.require(kind::MODEL_META, "model")?, "model");
+        let dcut = meta.read_f64()?;
+        let n = meta.read_len()?;
+        let index_bytes = meta.read_len()?;
+        let timings = Timings {
+            rho_secs: meta.read_f64()?,
+            delta_secs: meta.read_f64()?,
+            assign_secs: meta.read_f64()?,
+        };
+        let name_len = meta.read_len()?;
+        let name = meta.read_bytes(name_len)?;
+        meta.finish()?;
+        let algorithm = std::str::from_utf8(name).map_err(|_| DpcError::Corrupt {
+            section: "model",
+            what: "algorithm name not UTF-8",
+        })?;
+
+        let rho = view_slice::<f64>(sections.require(kind::MODEL_RHO, "model")?, "model")?;
+        let delta = view_slice::<f64>(sections.require(kind::MODEL_DELTA, "model")?, "model")?;
+        let dependent =
+            view_slice::<u64>(sections.require(kind::MODEL_DEPENDENT, "model")?, "model")?;
+        let order = view_slice::<u64>(sections.require(kind::MODEL_ORDER, "model")?, "model")?;
+        if rho.len() != n || delta.len() != n || dependent.len() != n || order.len() != n {
+            return Err(DpcError::Corrupt {
+                section: "model",
+                what: "per-point array length disagrees with metadata",
+            });
+        }
+        if dependent.iter().chain(order.iter()).any(|&v| v >= n as u64) {
+            return Err(DpcError::Corrupt {
+                section: "model",
+                what: "point identifier out of range",
+            });
+        }
+        Ok(Self { algorithm, dcut, index_bytes, timings, rho, delta, dependent, order })
+    }
+
+    /// Name of the algorithm that fitted the model (borrowed from the bytes).
+    pub fn algorithm(&self) -> &'a str {
+        self.algorithm
+    }
+
+    /// The cutoff distance the model was fitted with.
+    pub fn dcut(&self) -> f64 {
+        self.dcut
+    }
+
+    /// Number of points the model covers.
+    pub fn n(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Approximate heap bytes of the index structures of the original fit.
+    pub fn index_bytes(&self) -> usize {
+        self.index_bytes
+    }
+
+    /// Wall-clock timings of the original fit (provenance, not layout).
+    pub fn fit_timings(&self) -> Timings {
+        self.timings
+    }
+
+    /// Local density `ρ_i` of every point.
+    pub fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Dependent distance `δ_i` of every point.
+    pub fn delta(&self) -> &[f64] {
+        &self.delta
+    }
+
+    /// Dependent point of `i`. Validated `< n()` at parse time.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    pub fn dependent_at(&self, i: usize) -> usize {
+        self.dependent[i] as usize
+    }
+
+    /// Point ids in decreasing density order.
+    pub fn density_order(&self) -> impl ExactSizeIterator<Item = usize> + '_ {
+        self.order.iter().map(|&v| v as usize)
+    }
+
+    /// Whether every array of this view borrows from the artifact bytes
+    /// (`true` for any buffer whose sections sit 8-aligned in memory — the
+    /// writer's layout guarantees that whenever the buffer itself starts
+    /// 8-aligned, which every `Vec<u8>` read from disk does). `false` means
+    /// the copy fallback materialised owned arrays from a misaligned slice.
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self.rho, Cow::Borrowed(_))
+            && matches!(self.delta, Cow::Borrowed(_))
+            && matches!(self.dependent, Cow::Borrowed(_))
+            && matches!(self.order, Cow::Borrowed(_))
+    }
+
+    /// Materialises an owned [`DpcModel`], re-running the full structural
+    /// validation of [`DpcModel::from_saved_parts`] (order permutation,
+    /// non-increasing density) so the result is indistinguishable from the
+    /// model that was persisted.
+    pub fn to_model(&self) -> Result<DpcModel, DpcError> {
+        DpcModel::from_saved_parts(
+            intern_algorithm(self.algorithm),
+            self.dcut,
+            self.rho.to_vec(),
+            self.delta.to_vec(),
+            self.dependent.iter().map(|&v| v as usize).collect(),
+            self.order.iter().map(|&v| v as usize).collect(),
+            self.timings,
+            self.index_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_returns_static_known_names() {
+        assert_eq!(intern_algorithm("Ex-DPC"), "Ex-DPC");
+        // Pointer-identical to the interned constant, not a new allocation.
+        assert!(std::ptr::eq(intern_algorithm("Approx-DPC"), KNOWN_ALGORITHMS[1]));
+        // Unknown names still work (leaked once).
+        assert_eq!(intern_algorithm("Custom-DPC"), "Custom-DPC");
+    }
+}

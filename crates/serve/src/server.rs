@@ -150,6 +150,23 @@ impl DpcServer {
         })
     }
 
+    /// Opens a server from a snapshot artifact on disk and starts serving it
+    /// as epoch 1 — the refit-free cold start (see [`ModelStore::open`]) —
+    /// with the permissive [`ServeConfig::default`] and no fault injection.
+    ///
+    /// # Errors
+    /// Propagates [`ModelStore::open`]'s [`DpcError`]: `Io` when the file
+    /// cannot be read, `Corrupt`/`TruncatedArtifact` for any artifact defect.
+    pub fn open(path: &std::path::Path) -> Result<Self, DpcError> {
+        Ok(Self {
+            store: ModelStore::open(path)?,
+            config: ServeConfig::default(),
+            faults: None,
+            in_flight: AtomicUsize::new(0),
+            counters: Counters::default(),
+        })
+    }
+
     /// Replaces the robustness configuration (builder style).
     pub fn with_config(mut self, config: ServeConfig) -> Self {
         self.config = config;

@@ -31,12 +31,14 @@
 //!   install (supervised or not) resets the store to [`Health::Healthy`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
 use dpc_geometry::Dataset;
 use dpc_parallel::Executor;
+use dpc_persist::{read_artifact_file, write_artifact_file};
 use dpc_rng::StdRng;
 
 use crate::health::{Health, RefitPolicy};
@@ -92,6 +94,57 @@ impl ModelStore {
             current: Mutex::new(Arc::new(snapshot)),
             health: Mutex::new(HealthState::default()),
         })
+    }
+
+    /// Opens a store at epoch 1 from a snapshot artifact on disk — the cold
+    /// start that never refits: the model, the packed kd-tree and the default
+    /// clustering's thresholds all come out of the artifact
+    /// ([`Snapshot::from_artifact_bytes`]); only the `O(n)` label propagation
+    /// runs before the store is serving.
+    ///
+    /// # Errors
+    /// [`DpcError::Io`] when the file cannot be read; every artifact defect
+    /// surfaces as [`DpcError::Corrupt`] or [`DpcError::TruncatedArtifact`] —
+    /// a corrupted artifact is *rejected*, never installed.
+    pub fn open(path: &Path) -> Result<Self, DpcError> {
+        let bytes = read_artifact_file(path)?;
+        let mut snapshot = Snapshot::from_artifact_bytes(&bytes)?;
+        snapshot.epoch = 1;
+        Ok(Self {
+            current: Mutex::new(Arc::new(snapshot)),
+            health: Mutex::new(HealthState::default()),
+        })
+    }
+
+    /// Persists the current epoch as a snapshot artifact at `path`
+    /// (atomically: temp file + rename). A process that later
+    /// [`ModelStore::open`]s or [`ModelStore::load`]s the file serves
+    /// identical `Relabel`/`Assign`/`Stats` answers without refitting.
+    ///
+    /// # Errors
+    /// [`DpcError::Io`] when writing fails; the target is never left torn.
+    pub fn save(&self, path: &Path) -> Result<(), DpcError> {
+        write_artifact_file(path, &self.snapshot().to_artifact_bytes())
+    }
+
+    /// Decodes a snapshot artifact from `path` and atomically installs it as
+    /// the next epoch — a refit-free epoch swap, e.g. picking up an artifact
+    /// fitted on another machine. Returns the new epoch number.
+    ///
+    /// # Errors
+    /// On any read or decode failure the store keeps serving the current
+    /// epoch untouched and records the failure in [`ModelStore::health`] —
+    /// exactly like a failed [`ModelStore::refit`].
+    pub fn load(&self, path: &Path) -> Result<u64, DpcError> {
+        let decoded =
+            read_artifact_file(path).and_then(|bytes| Snapshot::from_artifact_bytes(&bytes));
+        match decoded {
+            Ok(snapshot) => Ok(self.install(snapshot)),
+            Err(err) => {
+                self.record_attempt_failure(&err);
+                Err(err)
+            }
+        }
     }
 
     /// The current snapshot. The internal lock is held only for the `Arc`

@@ -1,0 +1,160 @@
+//! Serving from disk: a snapshot artifact saved by one store and opened by
+//! another must answer every request identically — same clusters, same
+//! assignments, same stats — without refitting.
+
+use std::path::PathBuf;
+
+use dpc_core::{DpcParams, ExDpc, Thresholds};
+use dpc_data::generators::gaussian_blobs;
+use dpc_parallel::Executor;
+use dpc_serve::{DpcServer, ModelStore, Request, Response};
+
+/// A unique temp path per test; best-effort cleanup on drop.
+struct TempArtifact(PathBuf);
+
+impl TempArtifact {
+    fn new(name: &str) -> Self {
+        Self(std::env::temp_dir().join(format!("dpc_serve_persist_{}_{name}", std::process::id())))
+    }
+}
+
+impl Drop for TempArtifact {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn fitted_server() -> DpcServer {
+    let data = gaussian_blobs(&[(0.0, 0.0), (40.0, 40.0), (0.0, 40.0)], 60, 2.0, 13);
+    DpcServer::fit(
+        &ExDpc::new(DpcParams::new(4.0)),
+        data,
+        Thresholds::new(2.0, 10.0).unwrap(),
+        &Executor::single(),
+    )
+    .unwrap()
+}
+
+/// The request battery every persistence test compares across servers.
+fn battery() -> Vec<Request> {
+    vec![
+        Request::Relabel(Thresholds::new(2.0, 10.0).unwrap()),
+        Request::Relabel(Thresholds::new(5.0, 15.0).unwrap()),
+        Request::Relabel(Thresholds::new(0.5, 1.0).unwrap()),
+        Request::Assign(vec![1.0, -0.5]),
+        Request::Assign(vec![38.0, 41.5]),
+        Request::Assign(vec![20.0, 20.0]), // between blobs: likely noise
+        Request::Stats,
+    ]
+}
+
+#[test]
+fn opened_server_answers_identically_to_the_fitted_one() {
+    let fitted = fitted_server();
+    let path = TempArtifact::new("open");
+    fitted.store().save(&path.0).unwrap();
+
+    let opened = DpcServer::open(&path.0).unwrap();
+    assert_eq!(opened.epoch(), 1);
+    for request in battery() {
+        let a = fitted.handle(&request).unwrap();
+        let b = opened.handle(&request).unwrap();
+        assert_eq!(a, b, "disk-loaded snapshot diverged on {request:?}");
+    }
+}
+
+#[test]
+fn load_installs_the_artifact_as_a_new_epoch() {
+    let fitted = fitted_server();
+    let path = TempArtifact::new("load");
+    fitted.store().save(&path.0).unwrap();
+
+    // A different store (different data) picks the artifact up as epoch 2.
+    let other = ModelStore::fit(
+        &ExDpc::new(DpcParams::new(3.0)),
+        gaussian_blobs(&[(0.0, 0.0)], 40, 1.5, 3),
+        Thresholds::for_dcut(3.0),
+        &Executor::single(),
+    )
+    .unwrap();
+    assert_eq!(other.load(&path.0).unwrap(), 2);
+    assert_eq!(other.epoch(), 2);
+    assert!(other.health().is_healthy());
+
+    let original = fitted.store().snapshot();
+    let loaded = other.snapshot();
+    assert!(loaded.model().layout_eq(original.model()));
+    assert!(loaded.tree().layout_eq(original.tree()));
+    assert_eq!(loaded.thresholds(), original.thresholds());
+    assert_eq!(loaded.clustering().assignment, original.clustering().assignment);
+}
+
+#[test]
+fn failed_load_keeps_serving_and_degrades_health() {
+    let fitted = fitted_server();
+    let path = TempArtifact::new("corrupt");
+    fitted.store().save(&path.0).unwrap();
+
+    // Flip one payload bit on disk: the load must be rejected whole.
+    let mut bytes = std::fs::read(&path.0).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path.0, &bytes).unwrap();
+
+    let store = fitted.store();
+    let err = store.load(&path.0).unwrap_err();
+    assert!(matches!(err, dpc_serve::DpcError::Corrupt { .. }), "got {err:?}");
+    assert_eq!(store.epoch(), 1, "the served epoch must be untouched");
+    assert!(!store.health().is_healthy(), "the failed load must be visible to monitoring");
+
+    // A missing file is an I/O error, likewise recorded, likewise non-fatal.
+    let missing = TempArtifact::new("missing");
+    let err = store.load(&missing.0).unwrap_err();
+    assert!(matches!(err, dpc_serve::DpcError::Io { .. }), "got {err:?}");
+    assert_eq!(store.epoch(), 1);
+}
+
+#[test]
+fn save_then_open_round_trips_through_a_refit() {
+    let server = fitted_server();
+    // Refit onto new data, save the *new* epoch, reopen, compare.
+    let data2 = gaussian_blobs(&[(0.0, 0.0), (25.0, 25.0)], 45, 1.5, 21);
+    server
+        .store()
+        .refit(
+            &ExDpc::new(DpcParams::new(3.0)),
+            data2,
+            Thresholds::new(1.5, 8.0).unwrap(),
+            &Executor::single(),
+        )
+        .unwrap();
+    let path = TempArtifact::new("refit");
+    server.store().save(&path.0).unwrap();
+    let reopened = DpcServer::open(&path.0).unwrap();
+    // Epochs differ by design (2 vs 1): compare everything but the epoch.
+    fn strip_epoch(r: Response) -> Response {
+        match r {
+            Response::Relabel(mut x) => {
+                x.epoch = 0;
+                Response::Relabel(x)
+            }
+            Response::Assign(mut x) => {
+                x.epoch = 0;
+                Response::Assign(x)
+            }
+            Response::Stats(mut x) => {
+                x.epoch = 0;
+                Response::Stats(x)
+            }
+            Response::Health(mut x) => {
+                x.epoch = 0;
+                Response::Health(x)
+            }
+        }
+    }
+    for request in battery() {
+        let a = strip_epoch(server.handle(&request).unwrap());
+        let b = strip_epoch(reopened.handle(&request).unwrap());
+        assert_eq!(a, b, "reopened refit epoch diverged on {request:?}");
+    }
+}

@@ -57,6 +57,20 @@
 //! [`Request`](dpc_serve::Request)s (`Relabel`, `Assign`, `Stats`) from many
 //! threads while refits install in the background. See
 //! `examples/sensor_pipeline.rs` and `crates/serve/README.md`.
+//!
+//! ## Persistence
+//!
+//! The [`persist`] module (crate `dpc-persist`) writes fitted models, packed
+//! kd-trees and whole serving snapshots into a versioned, checksummed on-disk
+//! artifact, decoded by **zero-copy** views
+//! ([`ModelRef`](dpc_persist::ModelRef) /
+//! [`KdTreeRef`](dpc_persist::KdTreeRef) /
+//! [`SnapshotArtifact`](dpc_persist::SnapshotArtifact)) that serve reads —
+//! including kd-tree queries — straight off the byte slice. Round-trips are
+//! bitwise (`layout_eq`), so `ModelStore::load(path)` installs a serving
+//! epoch from disk that answers identically to the process that fitted it.
+//! The format is specified in `crates/persist/README.md` and pinned by the
+//! golden artifacts under `tests/golden/`.
 
 pub use dpc_baselines as baselines;
 pub use dpc_core as core;
@@ -65,6 +79,7 @@ pub use dpc_eval as eval;
 pub use dpc_geometry as geometry;
 pub use dpc_index as index;
 pub use dpc_parallel as parallel;
+pub use dpc_persist as persist;
 pub use dpc_rng as rng;
 pub use dpc_serve as serve;
 
@@ -81,6 +96,7 @@ pub mod prelude {
     pub use dpc_eval::{adjusted_rand_index, rand_index};
     pub use dpc_geometry::{Dataset, Point};
     pub use dpc_parallel::Executor;
+    pub use dpc_persist::{PersistModel, PersistTree, SnapshotArtifact};
     pub use dpc_serve::{
         DpcServer, Health, ModelStore, RefitPolicy, Request, Response, ServeConfig, ServeError,
         Snapshot,

@@ -268,6 +268,9 @@ fn errors_are_values_not_panics() {
             DpcError::NonFiniteCoordinate { .. } => "bad request: corrupt coordinates",
             DpcError::DimensionMismatch { .. } => "internal: inconsistent arrays",
             DpcError::Internal { .. } => "internal: isolated failure",
+            DpcError::Corrupt { .. } => "bad artifact: corrupt",
+            DpcError::TruncatedArtifact { .. } => "bad artifact: truncated",
+            DpcError::Io { .. } => "storage: io failure",
         }
     }
     let data = Dataset::new(2);
