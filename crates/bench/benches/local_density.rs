@@ -1,16 +1,28 @@
 //! Benchmark of the local-density (ρ) kernels across algorithms: the full
-//! linear scan, the R-tree, the seed's arena kd-tree, and the packed
-//! leaf-bucketed kd-tree that Ex-DPC now uses — plus the index construction
-//! itself (serial and fork-join parallel), which is the fixed cost every
-//! index-based variant pays before any ρ work.
+//! linear scan, the R-tree, the seed's arena kd-tree, the packed
+//! leaf-bucketed kd-tree's per-point loop, and the batched cell-clustered
+//! query engine that Ex-DPC now defaults to (`dpc_index::batchq`; serial and
+//! fan-out parallel) — plus the index construction itself (serial and
+//! fork-join parallel), which is the fixed cost every index-based variant
+//! pays before any ρ work.
+//!
+//! Index construction is accounted separately from query work on both sides:
+//! the per-point kernel runs against a prebuilt kd-tree (construction in the
+//! `build*` kernels), and the batched kernels run against the same prebuilt
+//! tree plus a prebuilt grid (construction in the `build_grid` kernel) — each
+//! batched timing covers bucket formation, the joint traversals, and the
+//! jittered scatter. A second `_xl` tier (default one million points) records
+//! the same ρ kernels at a scale where traversal sharing, not constant
+//! factors, dominates.
 //!
 //! Results are written to `BENCH_local_density.json` (schema in
 //! `crates/bench/README.md`) so the ρ-phase trajectory is recorded PR over PR.
 //!
-//! Flags: `--n <points>` (default 100,000), `--threads <T>` (default:
-//! available hardware parallelism; used by the parallel-build kernel — the ρ
-//! kernels themselves run single-threaded so the trajectory measures the
-//! kernels, not the scheduler), `--out <json>` (default
+//! Flags: `--n <points>` (default 100,000), `--xl-n <points>` (default
+//! 1,000,000; the `_xl` tier), `--threads <T>` (default: available hardware
+//! parallelism; used by the parallel-build and `rho_batched_parallel`
+//! kernels — the remaining ρ kernels run single-threaded so the trajectory
+//! measures the kernels, not the scheduler), `--out <json>` (default
 //! `BENCH_local_density.json`), `--check` (validate the emitted JSON and exit
 //! non-zero on schema drift).
 
@@ -21,15 +33,40 @@ use dpc_bench::schema::{check_or_exit, required};
 use dpc_bench::{default_params, BenchDataset};
 use dpc_core::framework::jittered_density;
 use dpc_core::ExDpc;
-use dpc_index::{IncrementalKdTree, KdTree, RTree};
+use dpc_index::{Grid, IncrementalKdTree, KdTree, RTree};
 use dpc_parallel::Executor;
 
 /// The quadratic scan baseline is only timed up to this cardinality; above it
 /// one iteration would dominate the whole bench run.
 const SCAN_MAX_N: usize = 20_000;
 
+/// The three ρ kernels of the `_xl` tier: the per-point packed-tree loop and
+/// the batched engine at 1 and `threads` workers. Two repetitions — the tier
+/// exists to record the large-`n` shape, not tight variance.
+fn xl_tier(xl_n: usize, threads: usize, records: &mut Vec<BenchRecord>) {
+    let dataset = BenchDataset::Syn;
+    let data = dataset.generate(xl_n);
+    let d = data.dim();
+    let executor = Executor::new(threads);
+    let kdtree = KdTree::build_parallel(&data, &executor);
+    let params = default_params(&dataset, 1);
+    let grid = Grid::build_parallel(&data, params.dcut / (d as f64).sqrt(), &executor);
+    let exdpc_serial = ExDpc::new(params);
+    let exdpc_parallel = ExDpc::new(default_params(&dataset, threads));
+    records.push(bench_record("exdpc_packed_kdtree_xl", xl_n, d, 2, || {
+        exdpc_serial.local_densities_per_point(&data, &kdtree)
+    }));
+    records.push(bench_record("rho_batched_serial_xl", xl_n, d, 2, || {
+        exdpc_serial.local_densities_with_grid(&data, &kdtree, &grid)
+    }));
+    records.push(bench_record("rho_batched_parallel_xl", xl_n, d, 2, || {
+        exdpc_parallel.local_densities_with_grid(&data, &kdtree, &grid)
+    }));
+}
+
 fn main() {
     let mut n = 100_000usize;
+    let mut xl_n = 1_000_000usize;
     let mut threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
     let mut out = resolve_out_path("BENCH_local_density.json");
     let mut check = false;
@@ -37,6 +74,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--n" => n = args.next().expect("--n requires a value").parse().expect("--n <points>"),
+            "--xl-n" => {
+                xl_n =
+                    args.next().expect("--xl-n requires a value").parse().expect("--xl-n <points>")
+            }
             "--threads" => {
                 threads =
                     args.next().expect("--threads requires a value").parse().expect("--threads <T>")
@@ -45,7 +86,7 @@ fn main() {
             "--check" => check = true,
             "--bench" => {} // appended by `cargo bench`
             other => panic!(
-                "unknown argument: {other} (flags: --n <points> --threads <T> --out <json> --check)"
+                "unknown argument: {other} (flags: --n <points> --xl-n <points> --threads <T> --out <json> --check)"
             ),
         }
     }
@@ -92,8 +133,29 @@ fn main() {
     let exdpc = ExDpc::new(params);
     let kdtree = KdTree::build(&data);
     records.push(bench_record("exdpc_packed_kdtree", n, d, 5, || {
-        exdpc.local_densities(&data, &kdtree)
+        exdpc.local_densities_per_point(&data, &kdtree)
     }));
+
+    // The grid the batched engine buckets queries by: its construction is the
+    // batched path's analogue of the `build*` kernels above.
+    let side = params.dcut / (d as f64).sqrt();
+    records.push(bench_record("build_grid", n, d, 5, || {
+        Grid::build_parallel(&data, side, &executor).num_cells()
+    }));
+    let grid = Grid::build_parallel(&data, side, &executor);
+
+    // The batched default (one joint traversal per cell bucket), serial and
+    // fanned out, against the prebuilt tree and grid; timings cover bucket
+    // formation, the joint traversals, and the jittered scatter.
+    records.push(bench_record("rho_batched_serial", n, d, 5, || {
+        exdpc.local_densities_with_grid(&data, &kdtree, &grid)
+    }));
+    let exdpc_parallel = ExDpc::new(default_params(&dataset, threads));
+    records.push(bench_record("rho_batched_parallel", n, d, 5, || {
+        exdpc_parallel.local_densities_with_grid(&data, &kdtree, &grid)
+    }));
+
+    xl_tier(xl_n, threads, &mut records);
 
     let mean_of = |name: &str| {
         records.iter().find(|r| r.kernel == name).map(|r| r.mean_secs).unwrap_or(f64::NAN)
@@ -102,6 +164,20 @@ fn main() {
     println!(
         "ρ-phase speedup vs arena (mean): {:.2}x",
         mean_of("exdpc_arena_kdtree") / mean_of("exdpc_packed_kdtree")
+    );
+    println!(
+        "batched ρ speedup vs per-point (serial, mean): {:.2}x",
+        mean_of("exdpc_packed_kdtree") / mean_of("rho_batched_serial")
+    );
+    println!(
+        "batched ρ speedup vs per-point ({} threads, mean): {:.2}x",
+        threads,
+        mean_of("exdpc_packed_kdtree") / mean_of("rho_batched_parallel")
+    );
+    println!(
+        "batched ρ speedup vs per-point at n = {} (serial, mean): {:.2}x",
+        xl_n,
+        mean_of("exdpc_packed_kdtree_xl") / mean_of("rho_batched_serial_xl")
     );
     println!(
         "parallel build speedup ({} threads, mean): {:.2}x",

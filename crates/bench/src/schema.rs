@@ -271,8 +271,19 @@ pub mod required {
         "joint_range_search_per_cell",
     ];
     /// `BENCH_local_density.json` (`benches/local_density.rs`).
-    pub const LOCAL_DENSITY: &[&str] =
-        &["build", "build_parallel", "rtree", "exdpc_arena_kdtree", "exdpc_packed_kdtree"];
+    pub const LOCAL_DENSITY: &[&str] = &[
+        "build",
+        "build_parallel",
+        "rtree",
+        "exdpc_arena_kdtree",
+        "exdpc_packed_kdtree",
+        "build_grid",
+        "rho_batched_serial",
+        "rho_batched_parallel",
+        "exdpc_packed_kdtree_xl",
+        "rho_batched_serial_xl",
+        "rho_batched_parallel_xl",
+    ];
     /// `BENCH_e2e.json` (`benches/end_to_end.rs`).
     pub const END_TO_END: &[&str] = &[
         "build",

@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use dpc_geometry::{batch, dist, Dataset};
+use dpc_index::batchq::{self, BatchRangeSearch};
 use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
@@ -91,18 +92,72 @@ impl ApproxDpc {
         let grid = Grid::build_parallel(data, side, executor);
         let cells: Vec<usize> = grid.cell_ids().collect();
 
-        // Phase 1: one range search per cell, partitioned by cost_range = |P(c)|.
-        let cost_range: Vec<f64> = cells.iter().map(|&c| grid.points(c).len() as f64).collect();
-        let (supersets, _) = executor.map_partitioned(&cost_range, |ci| {
-            let cell = cells[ci];
+        // Phase 1: one range search per cell (query = cell centre, radius
+        // d_cut + the farthest member), batched per grid bucket: spatially
+        // adjacent cells share one joint tree descent through the batched
+        // engine, whose per-query results are bit-identical to the former
+        // per-cell `range_search` calls. Buckets fan out over contiguous
+        // ranges balanced by member count.
+        let per_cell: Vec<(Vec<f64>, f64)> = executor.map_dynamic(cells.len(), |cell| {
             let center = grid.center(cell);
             let radius_extra = grid
                 .points(cell)
                 .iter()
                 .map(|&p| dist(&center, data.point(p)))
                 .fold(0.0f64, f64::max);
-            tree.range_search(&center, dcut + radius_extra)
+            (center, dcut + radius_extra)
         });
+        let buckets = grid.query_buckets();
+        let mut flat_supersets: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+        {
+            let mut cell_prefix = Vec::with_capacity(buckets.len() + 1);
+            let mut weight_prefix = Vec::with_capacity(buckets.len() + 1);
+            cell_prefix.push(0usize);
+            weight_prefix.push(0usize);
+            for bucket in buckets.iter() {
+                cell_prefix.push(cell_prefix.last().unwrap() + bucket.len());
+                let pts: usize = bucket.iter().map(|&c| grid.points(c).len()).sum();
+                weight_prefix.push(weight_prefix.last().unwrap() + pts);
+            }
+            let bounds = batchq::balanced_ranges(&weight_prefix, executor.threads());
+            let parts = tree.packed_parts();
+            let dim = data.dim();
+            let buckets = &buckets;
+            let per_cell = &per_cell;
+            let mut tasks = Vec::with_capacity(bounds.len() - 1);
+            let mut rest: &mut [Vec<usize>] = &mut flat_supersets;
+            for w in 0..bounds.len() - 1 {
+                let (blo, bhi) = (bounds[w], bounds[w + 1]);
+                let span = cell_prefix[bhi] - cell_prefix[blo];
+                let (mine, tail) = rest.split_at_mut(span);
+                rest = tail;
+                tasks.push(move || {
+                    let mut engine = BatchRangeSearch::new();
+                    let mut rows: Vec<f64> = Vec::new();
+                    let mut radii: Vec<f64> = Vec::new();
+                    let mut cursor = 0usize;
+                    for b in blo..bhi {
+                        let bucket = buckets.bucket(b);
+                        rows.clear();
+                        radii.clear();
+                        for &cell in bucket {
+                            let (center, radius) = &per_cell[cell];
+                            debug_assert_eq!(center.len(), dim);
+                            rows.extend_from_slice(center);
+                            radii.push(*radius);
+                        }
+                        engine.run(&parts, &rows, &radii, &mut mine[cursor..cursor + bucket.len()]);
+                        cursor += bucket.len();
+                    }
+                });
+            }
+            executor.fan_out(tasks);
+        }
+        // Back from bucket order to cell-id order.
+        let mut supersets: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+        for (slot, &cell) in buckets.flat_cells().iter().enumerate() {
+            supersets[cell] = std::mem::take(&mut flat_supersets[slot]);
+        }
 
         // Phase 2: exact densities + cell metadata, partitioned by
         // cost_scan = |P(c)| · |R(cp, ·)|.
@@ -335,6 +390,32 @@ mod tests {
         let approx = ApproxDpc::new(params).fit(&data).unwrap();
         let exact = ExDpc::new(params).fit(&data).unwrap();
         assert_eq!(approx.rho(), exact.rho());
+    }
+
+    #[test]
+    fn batched_supersets_leave_rho_bitwise_unchanged() {
+        // The batched phase-1 searches must leave the model's densities
+        // bitwise equal to the definitional per-point range counts, at every
+        // thread count.
+        let data = uniform(600, 2, 100.0, 47);
+        let params = DpcParams::new(7.0);
+        let tree = KdTree::build(&data);
+        for threads in [1usize, 2, 4, 8] {
+            let p = params.with_threads(threads);
+            let model = ApproxDpc::new(p).fit(&data).unwrap();
+            for i in 0..data.len() {
+                let expected = jittered_density(
+                    tree.range_count(data.point(i), p.dcut, Some(i)),
+                    i,
+                    p.jitter_seed,
+                );
+                assert_eq!(
+                    model.rho()[i].to_bits(),
+                    expected.to_bits(),
+                    "point {i}, threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use std::time::Instant;
 
 use dpc_geometry::Dataset;
-use dpc_index::{IncrementalKdTree, KdTree};
+use dpc_index::batchq::{self, BatchRangeCount};
+use dpc_index::{Grid, IncrementalKdTree, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
@@ -26,6 +27,12 @@ use crate::model::DpcModel;
 use crate::params::DpcParams;
 use crate::result::Timings;
 use crate::DpcAlgorithm;
+
+/// Upper bound on the number of query balls handed to one batched traversal.
+/// A degenerate grid (every point in one cell) would otherwise make the
+/// per-node active sets — and the traversal scratch — grow with `n`; counts
+/// are query-independent, so chunking is behaviour-neutral.
+const BATCH_CHUNK: usize = 512;
 
 /// The exact DPC algorithm of §3.
 #[derive(Clone, Copy, Debug)]
@@ -44,9 +51,125 @@ impl ExDpc {
         &self.params
     }
 
-    /// Computes the jittered local density of every point (the `ρ` phase on its
-    /// own). Exposed so benchmarks can time the phases separately (Table 6).
+    /// Computes the jittered local density of every point (the `ρ` phase on
+    /// its own). Exposed so benchmarks can time the phases separately
+    /// (Table 6).
+    ///
+    /// This is the batched default: queries are clustered into grid cells
+    /// (side `d_cut/√d`), each cell bucket descends the tree once through
+    /// `dpc_index::batchq`, and buckets fan out across the configured worker
+    /// threads. Results are bit-identical to
+    /// [`ExDpc::local_densities_per_point`] at every thread count — batched
+    /// counts equal single-query counts exactly, and the bucket order is
+    /// fixed by the grid's CSR layout, which is itself thread-invariant.
     pub fn local_densities(&self, data: &Dataset, tree: &KdTree<'_>) -> Vec<f64> {
+        let executor = Executor::new(self.params.threads);
+        let n = data.len();
+        let dim = data.dim();
+        if n == 0 || dim == 0 {
+            return vec![0.0; n];
+        }
+        let side = self.params.dcut / (dim as f64).sqrt();
+        if !(side.is_finite() && side > 0.0) {
+            // A degenerate d_cut (`fit` rejects it; direct callers may not)
+            // cannot seed a grid — the per-point loop has the same semantics.
+            return self.local_densities_per_point(data, tree);
+        }
+        let grid = Grid::build_parallel(data, side, &executor);
+        self.local_densities_with_grid(data, tree, &grid)
+    }
+
+    /// [`ExDpc::local_densities`] against a caller-built grid (cell side
+    /// `d_cut/√d`). Splitting the grid construction out lets callers that
+    /// already hold a grid — and benchmarks that account for index
+    /// construction separately, as they do for the kd-tree — time or reuse
+    /// the pure query phase.
+    pub fn local_densities_with_grid(
+        &self,
+        data: &Dataset,
+        tree: &KdTree<'_>,
+        grid: &Grid,
+    ) -> Vec<f64> {
+        let executor = Executor::new(self.params.threads);
+        let n = data.len();
+        let dim = data.dim();
+        let dcut = self.params.dcut;
+        let seed = self.params.jitter_seed;
+        let buckets = grid.query_buckets();
+
+        // Flat output slots in bucket order (bucket → cells → CSR point
+        // order): a prefix sum over per-bucket point counts gives each worker
+        // range a disjoint contiguous slice to fill.
+        let mut prefix = Vec::with_capacity(buckets.len() + 1);
+        prefix.push(0usize);
+        for bucket in buckets.iter() {
+            let pts: usize = bucket.iter().map(|&c| grid.points(c).len()).sum();
+            prefix.push(prefix.last().unwrap() + pts);
+        }
+        let mut counts = vec![0usize; n];
+        {
+            let bounds = batchq::balanced_ranges(&prefix, executor.threads());
+            let parts = tree.packed_parts();
+            let grid = &grid;
+            let buckets = &buckets;
+            let mut tasks = Vec::with_capacity(bounds.len() - 1);
+            let mut rest: &mut [usize] = &mut counts;
+            for w in 0..bounds.len() - 1 {
+                let (blo, bhi) = (bounds[w], bounds[w + 1]);
+                let span = prefix[bhi] - prefix[blo];
+                let (mine, tail) = rest.split_at_mut(span);
+                rest = tail;
+                tasks.push(move || {
+                    let mut engine = BatchRangeCount::new();
+                    let mut rows: Vec<f64> = Vec::new();
+                    let mut excl: Vec<u32> = Vec::new();
+                    let mut chunk_counts: Vec<usize> = Vec::new();
+                    let mut cursor = 0usize;
+                    for b in blo..bhi {
+                        rows.clear();
+                        excl.clear();
+                        for &cell in buckets.bucket(b) {
+                            rows.extend_from_slice(grid.coords(cell));
+                            excl.extend(grid.points(cell).iter().map(|&p| p as u32));
+                        }
+                        let k = excl.len();
+                        let mut done = 0usize;
+                        while done < k {
+                            let take = (k - done).min(BATCH_CHUNK);
+                            engine.run_uniform(
+                                &parts,
+                                &rows[done * dim..(done + take) * dim],
+                                dcut,
+                                &excl[done..done + take],
+                                &mut chunk_counts,
+                            );
+                            mine[cursor..cursor + take].copy_from_slice(&chunk_counts);
+                            cursor += take;
+                            done += take;
+                        }
+                    }
+                });
+            }
+            executor.fan_out(tasks);
+        }
+        // Scatter the bucket-ordered counts back to point order, jittering on
+        // the point id (order-independent, so identical to the per-point loop).
+        let mut rho = vec![0.0f64; n];
+        let mut slot = 0usize;
+        for &cell in buckets.flat_cells() {
+            for &p in grid.points(cell) {
+                rho[p] = jittered_density(counts[slot], p, seed);
+                slot += 1;
+            }
+        }
+        rho
+    }
+
+    /// The per-point reference ρ loop: one `range_count` traversal per point,
+    /// dynamically scheduled. Kept as the baseline the batched default is
+    /// pinned against (tests) and benchmarked against (`local_density`
+    /// trajectory).
+    pub fn local_densities_per_point(&self, data: &Dataset, tree: &KdTree<'_>) -> Vec<f64> {
         let executor = Executor::new(self.params.threads);
         let dcut = self.params.dcut;
         let seed = self.params.jitter_seed;
@@ -217,6 +340,42 @@ mod tests {
                 .collect();
             assert!(!labels.is_empty());
             assert!(labels.windows(2).all(|w| w[0] == w[1]), "blob {blob} split across clusters");
+        }
+    }
+
+    #[test]
+    fn batched_rho_is_bit_identical_to_per_point_loop() {
+        // The batched default ρ phase (grid buckets + joint traversals) must
+        // reproduce the per-point reference loop bit for bit, at every thread
+        // count — the model-level determinism contract of the batched engine.
+        let sets = [
+            uniform(700, 2, 100.0, 31),
+            uniform(500, 3, 60.0, 32),
+            uniform(240, 8, 30.0, 33),
+            // Duplicates: 600 points in 4 locations.
+            Dataset::from_flat(
+                2,
+                (0..600).flat_map(|i| [(i % 4) as f64 * 30.0, (i % 4) as f64 * 30.0]).collect(),
+            ),
+        ];
+        for (s, data) in sets.iter().enumerate() {
+            let params = DpcParams::new(8.0);
+            for threads in [1usize, 2, 4, 8] {
+                let exdpc = ExDpc::new(params.with_threads(threads));
+                let tree = KdTree::build_parallel(data, &Executor::new(threads));
+                let batched = exdpc.local_densities(data, &tree);
+                let per_point = exdpc.local_densities_per_point(data, &tree);
+                assert_eq!(batched.len(), per_point.len());
+                for i in 0..batched.len() {
+                    assert_eq!(
+                        batched[i].to_bits(),
+                        per_point[i].to_bits(),
+                        "set {s}, threads {threads}, point {i}: {} vs {}",
+                        batched[i],
+                        per_point[i]
+                    );
+                }
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 use std::time::Instant;
 
 use dpc_geometry::{dist, Dataset};
+use dpc_index::batchq::{self, BatchRangeSearch};
 use dpc_index::{Grid, KdTree};
 use dpc_parallel::Executor;
 
@@ -109,12 +110,69 @@ impl DpcAlgorithm for SApproxDpc {
         let cells: Vec<usize> = grid.cell_ids().collect();
 
         // One range search per cell for its (deterministically) picked point:
-        // the first point mapped into the cell. Dynamic scheduling, as for
-        // Ex-DPC's density loop (§5, "Implementation for parallel processing").
+        // the first point mapped into the cell (the first CSR coordinate row).
+        // The searches are batched per grid bucket — spatially adjacent cells
+        // share one joint tree descent, with per-query results bit-identical
+        // to the former per-cell `range_search` calls — and buckets fan out
+        // over contiguous ranges (§5, "Implementation for parallel
+        // processing").
+        let buckets = grid.query_buckets();
+        let dim = data.dim();
+        let mut flat_results: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+        {
+            let mut cell_prefix = Vec::with_capacity(buckets.len() + 1);
+            let mut weight_prefix = Vec::with_capacity(buckets.len() + 1);
+            cell_prefix.push(0usize);
+            weight_prefix.push(0usize);
+            for bucket in buckets.iter() {
+                cell_prefix.push(cell_prefix.last().unwrap() + bucket.len());
+                let pts: usize = bucket.iter().map(|&c| grid.points(c).len()).sum();
+                weight_prefix.push(weight_prefix.last().unwrap() + pts);
+            }
+            let bounds = batchq::balanced_ranges(&weight_prefix, executor.threads());
+            let parts = tree.packed_parts();
+            let buckets = &buckets;
+            let grid = &grid;
+            let mut tasks = Vec::with_capacity(bounds.len() - 1);
+            let mut rest: &mut [Vec<usize>] = &mut flat_results;
+            for w in 0..bounds.len() - 1 {
+                let (blo, bhi) = (bounds[w], bounds[w + 1]);
+                let span = cell_prefix[bhi] - cell_prefix[blo];
+                let (mine, tail) = rest.split_at_mut(span);
+                rest = tail;
+                tasks.push(move || {
+                    let mut engine = BatchRangeSearch::new();
+                    let mut rows: Vec<f64> = Vec::new();
+                    let mut cursor = 0usize;
+                    for b in blo..bhi {
+                        let bucket = buckets.bucket(b);
+                        rows.clear();
+                        for &cell in bucket {
+                            // The picked point is points(cell)[0], whose
+                            // coordinates are the cell's first CSR row.
+                            rows.extend_from_slice(&grid.coords(cell)[..dim]);
+                        }
+                        engine.run_uniform(
+                            &parts,
+                            &rows,
+                            dcut,
+                            &mut mine[cursor..cursor + bucket.len()],
+                        );
+                        cursor += bucket.len();
+                    }
+                });
+            }
+            executor.fan_out(tasks);
+        }
+        // Back from bucket order to cell-id order, then per-cell metadata.
+        let mut search_results: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+        for (slot, &cell) in buckets.flat_cells().iter().enumerate() {
+            search_results[cell] = std::mem::take(&mut flat_results[slot]);
+        }
         let picked_cells: Vec<PickedCell> = executor.map_dynamic(cells.len(), |ci| {
             let cell = cells[ci];
             let picked = grid.points(cell)[0];
-            let result = tree.range_search(data.point(picked), dcut);
+            let result = &search_results[ci];
             let count = result.iter().filter(|&&q| q != picked).count();
             let mut neighbors: Vec<usize> =
                 result.iter().map(|&q| grid.cell_of(q)).filter(|&c2| c2 != cell).collect();

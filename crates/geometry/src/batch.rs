@@ -296,19 +296,48 @@ pub mod x86 {
                 )
             }
             _ => {
-                // Generic lane-strided accumulation, one axis at a time — the
-                // exact operation order of the scalar `dist_sq_generic`.
+                // Generic d ≥ 4: four contiguous row loads per 4-axis block,
+                // transposed in registers to axis vectors (lane = row), then
+                // accumulated one axis at a time in ascending axis order — the
+                // exact operation order of the scalar `dist_sq_generic`, with
+                // no strided gathers on the hot path.
                 let p = rows.as_ptr().add(base * dim);
                 let mut acc = _mm256_setzero_pd();
-                for (a, &qa) in query.iter().enumerate() {
+                let mut a = 0usize;
+                while a + 4 <= dim {
+                    let v0 = _mm256_loadu_pd(p.add(a)); // row0: a a+1 | a+2 a+3
+                    let v1 = _mm256_loadu_pd(p.add(dim + a));
+                    let v2 = _mm256_loadu_pd(p.add(2 * dim + a));
+                    let v3 = _mm256_loadu_pd(p.add(3 * dim + a));
+                    let t0 = _mm256_unpacklo_pd(v0, v1); // a: r0 r1 | a+2: r0 r1
+                    let t1 = _mm256_unpackhi_pd(v0, v1); // a+1: r0 r1 | a+3: r0 r1
+                    let t2 = _mm256_unpacklo_pd(v2, v3);
+                    let t3 = _mm256_unpackhi_pd(v2, v3);
+                    for (axis, col) in [
+                        _mm256_permute2f128_pd(t0, t2, 0x20), // axis a, lanes r0..r3
+                        _mm256_permute2f128_pd(t1, t3, 0x20), // axis a+1
+                        _mm256_permute2f128_pd(t0, t2, 0x31), // axis a+2
+                        _mm256_permute2f128_pd(t1, t3, 0x31), // axis a+3
+                    ]
+                    .into_iter()
+                    .enumerate()
+                    {
+                        let d = _mm256_sub_pd(col, _mm256_set1_pd(query[a + axis]));
+                        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+                    }
+                    a += 4;
+                }
+                // Remainder axes (dim mod 4) stay lane-strided gathers.
+                while a < dim {
                     let v = _mm256_set_pd(
                         *p.add(3 * dim + a),
                         *p.add(2 * dim + a),
                         *p.add(dim + a),
                         *p.add(a),
                     );
-                    let d = _mm256_sub_pd(v, _mm256_set1_pd(qa));
+                    let d = _mm256_sub_pd(v, _mm256_set1_pd(query[a]));
                     acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+                    a += 1;
                 }
                 acc
             }
@@ -453,11 +482,26 @@ pub mod x86 {
                 _mm_add_pd(_mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)), _mm_mul_pd(dz, dz))
             }
             _ => {
+                // Generic d ≥ 4: contiguous pair loads per 2-axis block,
+                // transposed with unpacks (lane = row), accumulated in
+                // ascending axis order like the scalar `dist_sq_generic`.
                 let p = rows.as_ptr().add(base * dim);
                 let mut acc = _mm_setzero_pd();
-                for (a, &qa) in query.iter().enumerate() {
+                let mut a = 0usize;
+                while a + 2 <= dim {
+                    let v0 = _mm_loadu_pd(p.add(a)); // row0: a a+1
+                    let v1 = _mm_loadu_pd(p.add(dim + a)); // row1: a a+1
+                    for (axis, col) in
+                        [_mm_unpacklo_pd(v0, v1), _mm_unpackhi_pd(v0, v1)].into_iter().enumerate()
+                    {
+                        let d = _mm_sub_pd(col, _mm_set1_pd(query[a + axis]));
+                        acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+                    }
+                    a += 2;
+                }
+                if a < dim {
                     let v = _mm_set_pd(*p.add(dim + a), *p.add(a));
-                    let d = _mm_sub_pd(v, _mm_set1_pd(qa));
+                    let d = _mm_sub_pd(v, _mm_set1_pd(query[a]));
                     acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
                 }
                 acc

@@ -63,6 +63,24 @@ const EMPTY: u32 = u32::MAX;
 /// hand out, so the build runs serially (bit-identical either way).
 const MIN_PARALLEL_POINTS: usize = 4096;
 
+/// Bucket-formation target of [`Grid::query_buckets`]: cells keep merging
+/// neighbours until a bucket covers at least this many points (a bucket
+/// anchored on a larger cell stays a singleton). Large enough to amortize a
+/// shared traversal, small enough to keep per-node active sets cheap.
+pub const MIN_BUCKET_POINTS: usize = 64;
+
+/// Above this dimensionality [`Grid::query_buckets`] skips the `3^d − 1`
+/// Chebyshev neighbour enumeration (whose count explodes with `d`) and merges
+/// small cells by consecutive cell id only.
+const NEIGHBOR_MERGE_MAX_DIM: usize = 4;
+
+/// How many consecutive cell ids past the anchor [`Grid::query_buckets`]
+/// scans for additional small cells after the Chebyshev pass. Cell ids are
+/// assigned in first-appearance order, which tracks data locality, so nearby
+/// ids are usually nearby cells; the bound keeps the sweep `O(num_cells)`
+/// overall.
+const CONSECUTIVE_MERGE_WINDOW: usize = 64;
+
 /// A uniform grid over the points of a dataset.
 #[derive(Debug)]
 pub struct Grid {
@@ -183,6 +201,10 @@ struct Shard {
     counts: Vec<usize>,
     /// Local cell id of every point of the range, in point order.
     point_local: Vec<u32>,
+    /// Global index of the first point of each local cell (the point that
+    /// interned it). Feeds the global first-appearance table that lets the
+    /// scatter pass skip straight to each cell range's first point.
+    first_seen: Vec<usize>,
 }
 
 impl Grid {
@@ -298,6 +320,7 @@ impl Grid {
             let mut table: Vec<u32> = Vec::new();
             let mut counts: Vec<usize> = Vec::new();
             let mut point_local: Vec<u32> = Vec::with_capacity(range.len());
+            let mut first_seen: Vec<usize> = Vec::new();
             let mut scratch: Vec<i64> = Vec::with_capacity(dim);
             for p in range {
                 fill_key_into(data.point(p), origin, side, &mut scratch);
@@ -306,19 +329,25 @@ impl Grid {
                     None => {
                         let lid = intern_key(&mut keys, &mut table, dim, &scratch);
                         counts.push(0);
+                        first_seen.push(p);
                         lid
                     }
                 };
                 counts[lid] += 1;
                 point_local.push(lid as u32);
             }
-            Shard { keys, counts, point_local }
+            Shard { keys, counts, point_local, first_seen }
         });
 
         // Merge (serial, O(Σ distinct local cells) — #cells · #shards at
         // worst, not O(n)): intern the shard keys into the global table in
         // global first-appearance order and accumulate the global counts.
+        // `first_global[gid]` is the index of the first point of cell `gid` —
+        // shards are walked in point order, so the first shard that knows a
+        // key holds its global first appearance; cell ids are assigned in that
+        // same order, making `first_global` strictly increasing.
         let mut counts: Vec<usize> = Vec::new();
+        let mut first_global: Vec<usize> = Vec::new();
         let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
         for shard in &shards {
             let mut map = Vec::with_capacity(shard.counts.len());
@@ -329,6 +358,7 @@ impl Grid {
                     None => {
                         let gid = intern_key(&mut grid.keys, &mut grid.table, dim, key);
                         counts.push(0);
+                        first_global.push(shard.first_seen[lid]);
                         gid
                     }
                 };
@@ -361,7 +391,12 @@ impl Grid {
         // The packed span of a contiguous cell range is itself contiguous, so
         // every task owns disjoint slices of `packed`/`coord_rows`; range
         // boundaries are chosen on cell borders so the spans balance by
-        // point count.
+        // point count. Each task scans only the point→cell slice that can
+        // contain its cells: cell ids follow first-appearance order, so every
+        // point before `first_global[lo]` belongs to a cell below `lo`, and
+        // the scan stops as soon as the task's span is full — the same
+        // ascending point order (hence byte-identical layout) as before, at a
+        // fraction of the map reads.
         let num_cells = counts.len();
         let offsets = prefix_sum(&counts);
         let mut packed = vec![0usize; n];
@@ -387,17 +422,27 @@ impl Grid {
                 packed_rest = packed_tail;
                 let (coords_mine, coords_tail) = coord_rest.split_at_mut(span * dim);
                 coord_rest = coords_tail;
+                if span == 0 {
+                    continue;
+                }
                 let base = offsets[lo];
+                let start_p = first_global[lo];
                 let mut cursor: Vec<usize> = offsets[lo..hi].to_vec();
                 tasks.push(move || {
-                    for (p, &c) in point_cell.iter().enumerate() {
+                    let mut remaining = span;
+                    for (off, &c) in point_cell[start_p..].iter().enumerate() {
                         if c < lo || c >= hi {
                             continue;
                         }
+                        let p = start_p + off;
                         let slot = cursor[c - lo] - base;
                         cursor[c - lo] += 1;
                         packed_mine[slot] = p;
                         coords_mine[slot * dim..(slot + 1) * dim].copy_from_slice(data.point(p));
+                        remaining -= 1;
+                        if remaining == 0 {
+                            break;
+                        }
                     }
                 });
             }
@@ -540,13 +585,22 @@ impl Grid {
         let mut probe: Vec<i64> = vec![0; self.dim];
         loop {
             let mut all_zero = true;
+            let mut in_range = true;
             for i in 0..self.dim {
-                probe[i] = key[i] + offset[i];
                 if offset[i] != 0 {
                     all_zero = false;
                 }
+                match key[i].checked_add(offset[i]) {
+                    Some(k) => probe[i] = k,
+                    // A key component at the i64 extreme has no representable
+                    // neighbour on that side — and no cell past it either.
+                    None => {
+                        in_range = false;
+                        break;
+                    }
+                }
             }
-            if !all_zero {
+            if !all_zero && in_range {
                 if let Some(cid) = self.probe(&probe) {
                     out.push(cid);
                 }
@@ -589,6 +643,77 @@ impl Grid {
             && self.point_cell == other.point_cell
     }
 
+    /// Groups the grid's cells into **query buckets** for the batched range
+    /// engine (`dpc_index::batchq`): each bucket is a set of spatially
+    /// adjacent cells whose points (or centres) form one bucket of query
+    /// balls sharing a single tree descent.
+    ///
+    /// Formation is a deterministic greedy sweep in cell-id order: a cell
+    /// with at least [`MIN_BUCKET_POINTS`] points anchors a singleton bucket;
+    /// a smaller cell absorbs still-unassigned small neighbours (Chebyshev
+    /// distance 1, enumerated in the fixed [`Grid::neighbors_within`] order;
+    /// consecutive cell ids instead when `d` makes `3^d` enumeration too
+    /// wide) until the bucket reaches the target. Every cell lands in exactly
+    /// one bucket.
+    ///
+    /// The result depends only on the grid layout — which is byte-identical
+    /// at every thread count — so bucket order, and the within-bucket query
+    /// order derived from the CSR point order, are fixed inputs to the
+    /// deterministic batched traversals.
+    pub fn query_buckets(&self) -> QueryBuckets {
+        let num_cells = self.num_cells();
+        let mut assigned = vec![false; num_cells];
+        let mut cells: Vec<CellId> = Vec::with_capacity(num_cells);
+        let mut offsets: Vec<usize> = Vec::with_capacity(num_cells / 2 + 2);
+        offsets.push(0);
+        let cell_len = |c: CellId| self.offsets[c + 1] - self.offsets[c];
+        for c in 0..num_cells {
+            if assigned[c] {
+                continue;
+            }
+            assigned[c] = true;
+            cells.push(c);
+            let mut size = cell_len(c);
+            if size < MIN_BUCKET_POINTS {
+                if self.dim <= NEIGHBOR_MERGE_MAX_DIM {
+                    for nb in self.neighbors_within(c, 1) {
+                        if size >= MIN_BUCKET_POINTS {
+                            break;
+                        }
+                        if assigned[nb] || cell_len(nb) >= MIN_BUCKET_POINTS {
+                            continue;
+                        }
+                        assigned[nb] = true;
+                        cells.push(nb);
+                        size += cell_len(nb);
+                    }
+                }
+                // Consecutive-id fallback (the only pass above
+                // `NEIGHBOR_MERGE_MAX_DIM`): absorb small unassigned cells
+                // from a bounded id window past the anchor — ids are
+                // assigned in first-appearance order, so the window tracks
+                // data locality even when the Chebyshev shell is exhausted.
+                let window_end = num_cells.min(c + 1 + CONSECUTIVE_MERGE_WINDOW);
+                for (nb, taken) in assigned.iter_mut().enumerate().take(window_end).skip(c + 1) {
+                    if size >= MIN_BUCKET_POINTS {
+                        break;
+                    }
+                    if *taken {
+                        continue;
+                    }
+                    if cell_len(nb) >= MIN_BUCKET_POINTS {
+                        break;
+                    }
+                    *taken = true;
+                    cells.push(nb);
+                    size += cell_len(nb);
+                }
+            }
+            offsets.push(cells.len());
+        }
+        QueryBuckets { offsets, cells }
+    }
+
     /// Approximate heap memory used by the grid, in bytes. Everything is flat:
     /// the interned key buffer, the CSR offsets and packed point ids, the key
     /// table, and the point→cell map.
@@ -600,6 +725,44 @@ impl Grid {
             + self.table.capacity() * std::mem::size_of::<u32>()
             + self.point_cell.capacity() * std::mem::size_of::<CellId>()
             + self.origin.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// A partition of a grid's cells into query buckets, produced by
+/// [`Grid::query_buckets`]. CSR layout: bucket `b` covers
+/// `cells()[offsets[b]..offsets[b + 1]]`, and concatenating the buckets
+/// enumerates every cell exactly once.
+#[derive(Debug, Clone)]
+pub struct QueryBuckets {
+    offsets: Vec<usize>,
+    cells: Vec<CellId>,
+}
+
+impl QueryBuckets {
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether there are no buckets (empty grid).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cells of bucket `b`, anchor cell first.
+    pub fn bucket(&self, b: usize) -> &[CellId] {
+        &self.cells[self.offsets[b]..self.offsets[b + 1]]
+    }
+
+    /// All cells in bucket-concatenation order (a permutation of the grid's
+    /// cell ids); `flat_cells()[k]` is the cell behind flat slot `k`.
+    pub fn flat_cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Iterates over the buckets in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[CellId]> + '_ {
+        (0..self.len()).map(move |b| self.bucket(b))
     }
 }
 
@@ -953,6 +1116,59 @@ mod tests {
         mutated.origin[0] = -0.0;
         assert_eq!(mutated.origin[0], lattice.origin[0]);
         assert!(!lattice.layout_eq(&mutated), "-0.0 origin must differ bitwise");
+    }
+
+    #[test]
+    fn query_buckets_partition_every_cell_exactly_once() {
+        for (ds, side) in [
+            (parallel_sized_dataset(3_000, 2, 100.0, 21), 4.0),
+            (parallel_sized_dataset(2_000, 3, 60.0, 22), 5.0),
+            // High-d: the consecutive-id merge path.
+            (parallel_sized_dataset(800, 8, 30.0, 23), 8.0),
+            // One giant cell.
+            (parallel_sized_dataset(500, 2, 5.0, 24), 1_000.0),
+        ] {
+            let grid = Grid::build(&ds, side);
+            let buckets = grid.query_buckets();
+            let mut seen = vec![false; grid.num_cells()];
+            for bucket in buckets.iter() {
+                assert!(!bucket.is_empty());
+                for &c in bucket {
+                    assert!(!seen[c], "cell {c} assigned twice");
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s));
+            assert_eq!(buckets.flat_cells().len(), grid.num_cells());
+        }
+    }
+
+    #[test]
+    fn query_buckets_merge_small_neighbor_cells() {
+        // A fine grid over a lattice: every cell holds one point, so buckets
+        // must merge neighbours instead of staying singletons.
+        let mut ds = Dataset::new(2);
+        for x in 0..8 {
+            for y in 0..8 {
+                ds.push(&[x as f64, y as f64]);
+            }
+        }
+        let grid = Grid::build(&ds, 1.0);
+        assert_eq!(grid.num_cells(), 64);
+        let buckets = grid.query_buckets();
+        assert!(buckets.len() < grid.num_cells(), "small cells must merge");
+        // Deterministic: two sweeps agree exactly.
+        let again = grid.query_buckets();
+        assert_eq!(buckets.flat_cells(), again.flat_cells());
+        assert_eq!(buckets.len(), again.len());
+    }
+
+    #[test]
+    fn query_buckets_on_empty_grid() {
+        let grid = Grid::build(&Dataset::new(2), 5.0);
+        let buckets = grid.query_buckets();
+        assert!(buckets.is_empty());
+        assert_eq!(buckets.iter().count(), 0);
     }
 
     #[test]

@@ -64,10 +64,12 @@ pub const LEAF_BUCKET: usize = 16;
 
 /// Capacity of the fixed traversal stacks. A balanced tree over `u32`-indexed
 /// points has depth ≤ ⌈log₂(2³² / 16)⌉ + 1 = 29, and a depth-first traversal
-/// that pushes both children keeps at most depth + 1 entries.
-const STACK_CAP: usize = 64;
+/// that pushes both children keeps at most depth + 1 entries. Shared with the
+/// batched traversals of [`crate::batchq`], whose recursion depth obeys the
+/// same bound.
+pub(crate) const STACK_CAP: usize = 64;
 
-const NONE: u32 = PackedNode::NO_CHILD;
+pub(crate) const NONE: u32 = PackedNode::NO_CHILD;
 
 /// Minimum number of points in a range before the build forks it: below this
 /// the ~10–30 µs cost of spawning a scoped thread exceeds the work handed
@@ -434,7 +436,7 @@ pub struct PackedParts<'t> {
 impl PackedParts<'_> {
     /// The bounding box `(lo, hi)` of node `idx`.
     #[inline]
-    fn node_bounds(&self, idx: usize) -> (&[f64], &[f64]) {
+    pub(crate) fn node_bounds(&self, idx: usize) -> (&[f64], &[f64]) {
         let b = &self.bounds[idx * 2 * self.dim..(idx + 1) * 2 * self.dim];
         b.split_at(self.dim)
     }
@@ -444,7 +446,7 @@ impl PackedParts<'_> {
     /// scanning the range (the exclude path is unused on subset trees in
     /// practice).
     #[inline]
-    fn excluded_row(&self, start: usize, end: usize, excl_id: u32) -> Option<usize> {
+    pub(crate) fn excluded_row(&self, start: usize, end: usize, excl_id: u32) -> Option<usize> {
         if excl_id == NONE {
             return None;
         }

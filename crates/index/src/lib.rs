@@ -21,13 +21,22 @@
 //!   regions, exactly as §4.1 describes. Construction shards across worker
 //!   threads ([`Grid::build_parallel`]) with a byte-for-byte identical CSR
 //!   layout at every thread count (the [`Grid::layout_eq`] contract).
+//! * [`batchq`] — batched range queries over the packed tree: a bucket of
+//!   query balls (typically one grid cell's points, via
+//!   [`Grid::query_buckets`]) descends the tree **once**, pruning with the
+//!   bucket's joint bounding box and feeding each leaf's contiguous rows to
+//!   the SIMD batch kernels per still-active query. Every result is
+//!   bit-identical to the corresponding single-query call — see the module's
+//!   determinism contract.
 
+pub mod batchq;
 pub mod grid;
 pub mod incremental;
 pub mod kdtree;
 pub mod rtree;
 
-pub use grid::{CellId, Grid};
+pub use batchq::{BatchRangeCount, BatchRangeSearch};
+pub use grid::{CellId, Grid, QueryBuckets};
 pub use incremental::IncrementalKdTree;
 pub use kdtree::{canonical_node_layout, packed_node_count, KdTree, PackedNode, PackedParts};
 pub use rtree::RTree;

@@ -64,6 +64,26 @@ pub fn classify_within(
     point: &[f64],
     deadline: &Deadline,
 ) -> Result<AssignResponse, ServeError> {
+    classify_prepared(snapshot, point, deadline, None)
+}
+
+/// [`classify_within`] with an optionally precomputed query density.
+///
+/// The batch path groups concurrent `Assign` points by grid cell and answers
+/// their `d_cut` range counts with one joint kd-tree descent per group
+/// (`dpc_index::batchq`); it hands the resulting `count + 0.5` in here so the
+/// classification skips its solo `range_count`. The batched engine's
+/// determinism contract makes the precomputed value bit-identical to the solo
+/// count, so batched and solo assignment agree exactly. `None` means "compute
+/// it here" — the solo path. A query that coincides with a fitted point still
+/// short-circuits to that point's fitted quantities before `rho` is ever
+/// looked at, on both paths.
+pub(crate) fn classify_prepared(
+    snapshot: &Snapshot,
+    point: &[f64],
+    deadline: &Deadline,
+    precomputed_rho: Option<f64>,
+) -> Result<AssignResponse, ServeError> {
     deadline.check()?;
     if point.len() != snapshot.dim() {
         return Err(DpcError::DimensionMismatch {
@@ -104,7 +124,8 @@ pub fn classify_within(
         });
     }
 
-    let rho = tree.range_count(point, snapshot.dcut(), None) as f64 + 0.5;
+    let rho = precomputed_rho
+        .unwrap_or_else(|| tree.range_count(point, snapshot.dcut(), None) as f64 + 0.5);
 
     // Expanding-radius search for the nearest fitted point denser than the
     // query. Any qualifier inside the current ball bounds the answer inside
