@@ -182,9 +182,9 @@ fn main() {
 
     let mut inserted = 0usize;
     records.push(bench_record("arena_incremental_insert_2d", data2.len(), 2, 5, || {
-        let mut tree = IncrementalKdTree::new(&data2);
+        let mut tree = IncrementalKdTree::new(data2.dim());
         for id in 0..data2.len() {
-            tree.insert(id);
+            tree.insert(id, data2.point(id));
         }
         inserted = tree.len();
         inserted

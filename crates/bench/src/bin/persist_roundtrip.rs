@@ -71,6 +71,9 @@ fn render(response: &Response) -> String {
             s.index_bytes,
         ),
         Response::Health(_) => "health".to_string(),
+        Response::Ingest(i) => {
+            format!("ingest id={} n={} expired={} published={}", i.id, i.n, i.expired, i.published)
+        }
     }
 }
 

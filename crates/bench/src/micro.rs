@@ -36,6 +36,9 @@ pub fn bench<R, F: FnMut() -> R>(label: &str, iters: usize, mut f: F) -> f64 {
         let start = Instant::now();
         black_box(f());
         let secs = start.elapsed().as_secs_f64();
+        if std::env::var_os("BENCH_ITER_TRACE").is_some() {
+            eprintln!("  iter {secs:.6}s");
+        }
         total += secs;
         min = min.min(secs);
     }
@@ -77,6 +80,9 @@ pub fn bench_record<R, F: FnMut() -> R>(
         let start = Instant::now();
         black_box(f());
         let secs = start.elapsed().as_secs_f64();
+        if std::env::var_os("BENCH_ITER_TRACE").is_some() {
+            eprintln!("  iter {secs:.6}s");
+        }
         total += secs;
         min = min.min(secs);
     }

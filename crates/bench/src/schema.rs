@@ -361,6 +361,10 @@ pub mod required {
         "snapshot_cold_load_xl",
         "full_refit_xl",
     ];
+    /// `BENCH_ingest.json` (`benches/ingest.rs`): sustained sliding-window
+    /// ingest and insert/remove churn through the streaming engine, against
+    /// the refit-the-whole-window-per-batch baseline.
+    pub const INGEST: &[&str] = &["ingest_sustained", "ingest_churn", "refit_per_window"];
 }
 
 /// Looks a key up in an object, requiring it to be present exactly once.
@@ -603,6 +607,7 @@ mod tests {
             ("BENCH_e2e.json", "end_to_end", required::END_TO_END),
             ("BENCH_serve.json", "serve", required::SERVE),
             ("BENCH_cold_load.json", "cold_load", required::COLD_LOAD),
+            ("BENCH_ingest.json", "ingest", required::INGEST),
         ] {
             let path = root.join(file);
             if let Err(e) = check_file(&path, bench, kernels) {

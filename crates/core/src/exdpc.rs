@@ -22,7 +22,9 @@ use dpc_index::{Grid, IncrementalKdTree, KdTree};
 use dpc_parallel::Executor;
 
 use crate::error::DpcError;
-use crate::framework::{descending_density_order, jittered_density, validate_dataset};
+use crate::framework::{
+    descending_density_order, jittered_density, jittered_density_keyed, validate_dataset,
+};
 use crate::model::DpcModel;
 use crate::params::DpcParams;
 use crate::result::Timings;
@@ -179,6 +181,49 @@ impl ExDpc {
         })
     }
 
+    /// [`DpcAlgorithm::fit`] with the jitter keyed on caller-supplied stable
+    /// ids instead of dataset indices (`keys[i]` jitters point `i`).
+    ///
+    /// This is the reference a [`StreamingDpc`](crate::StreamingDpc) state is
+    /// compared against: the streaming engine jitters every ρ on the point's
+    /// stable external id, so a fresh fit of the surviving window keyed on the
+    /// same ids must reproduce the incrementally maintained ρ and δ exactly.
+    /// With `keys = 0..n` this is identical to `fit` (same jitter function,
+    /// same phases).
+    pub fn fit_keyed(&self, data: &Dataset, keys: &[u64]) -> Result<DpcModel, DpcError> {
+        self.params.validate()?;
+        validate_dataset(data)?;
+        if keys.len() != data.len() {
+            return Err(DpcError::InvalidParams {
+                param: "jitter keys",
+                value: keys.len() as f64,
+                requirement: "one stable id per dataset point",
+            });
+        }
+        let mut timings = Timings::default();
+
+        let start = Instant::now();
+        let executor = Executor::new(self.params.threads);
+        let tree = KdTree::build_parallel(data, &executor);
+        let dcut = self.params.dcut;
+        let seed = self.params.jitter_seed;
+        // Per-point loop (not the batched grid path): map_dynamic writes
+        // result `i` to slot `i`, so the keyed jitter is thread-invariant.
+        let rho = executor.map_dynamic(data.len(), |i| {
+            let count = tree.range_count(data.point(i), dcut, Some(i));
+            jittered_density_keyed(count, keys[i], seed)
+        });
+        timings.rho_secs = start.elapsed().as_secs_f64();
+        let index_bytes = tree.mem_usage();
+        drop(tree);
+
+        let start = Instant::now();
+        let (dependent, delta) = self.dependent_points(data, &rho);
+        timings.delta_secs = start.elapsed().as_secs_f64();
+
+        DpcModel::from_parts(self.name(), dcut, rho, delta, dependent, timings, index_bytes)
+    }
+
     /// Computes dependent points and distances given the local densities (the
     /// `δ` phase on its own). Returns `(dependent, delta)`.
     ///
@@ -195,15 +240,15 @@ impl ExDpc {
         let order = descending_density_order(rho);
         // Step 1 & 3 of the §3 procedure: the densest point keeps δ = ∞ and
         // becomes the first tree entry.
-        let mut tree = IncrementalKdTree::new(data);
-        tree.insert(order[0]);
+        let mut tree = IncrementalKdTree::new(data.dim());
+        tree.insert(order[0], data.point(order[0]));
         for &i in order.iter().skip(1) {
             let (nn, dist) = tree
                 .nearest_neighbor(data.point(i), None)
                 .expect("tree is non-empty after the first insertion");
             dependent[i] = nn;
             delta[i] = dist;
-            tree.insert(i);
+            tree.insert(i, data.point(i));
         }
         (dependent, delta)
     }
@@ -377,6 +422,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fit_keyed_with_identity_keys_matches_fit() {
+        let data = uniform(500, 2, 100.0, 44);
+        let params = DpcParams::new(7.0);
+        let plain = ExDpc::new(params).fit(&data).unwrap();
+        let keys: Vec<u64> = (0..data.len() as u64).collect();
+        for threads in [1usize, 4] {
+            let keyed = ExDpc::new(params.with_threads(threads)).fit_keyed(&data, &keys).unwrap();
+            assert_eq!(plain.rho(), keyed.rho(), "threads {threads}");
+            assert_eq!(plain.delta(), keyed.delta(), "threads {threads}");
+            assert_eq!(plain.dependent(), keyed.dependent(), "threads {threads}");
+        }
+        // Shifted keys change every jitter (and thus potentially tie-breaks)
+        // but never a point's integer count.
+        let shifted: Vec<u64> = (0..data.len() as u64).map(|k| k + 1_000_000).collect();
+        let other = ExDpc::new(params).fit_keyed(&data, &shifted).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(plain.rho()[i].floor(), other.rho()[i].floor(), "count changed at {i}");
+            assert_ne!(plain.rho()[i], other.rho()[i], "jitter must depend on the key at {i}");
+        }
+        let err = ExDpc::new(params).fit_keyed(&data, &keys[..10]).unwrap_err();
+        assert!(matches!(err, DpcError::InvalidParams { param: "jitter keys", .. }));
     }
 
     #[test]

@@ -35,7 +35,18 @@ pub fn validate_dataset(data: &Dataset) -> Result<(), DpcError> {
 /// approximation algorithms inherit Ex-DPC's exact tie-breaks.
 #[inline]
 pub fn jittered_density(count: usize, point_id: usize, seed: u64) -> f64 {
-    count as f64 + jitter01(point_id as u64 ^ seed)
+    jittered_density_keyed(count, point_id as u64, seed)
+}
+
+/// [`jittered_density`] keyed by an arbitrary `u64` instead of a dataset
+/// index. This is the streaming form: `StreamingDpc` jitters on a **stable
+/// external id** that survives window slides, so an incrementally maintained ρ
+/// is bit-identical to a fresh fit keyed on the same ids. When the key equals
+/// the dataset index the two functions agree, which is what makes a batch
+/// `ExDpc::fit` the `keys = 0..n` special case of the keyed fit.
+#[inline]
+pub fn jittered_density_keyed(count: usize, key: u64, seed: u64) -> f64 {
+    count as f64 + jitter01(key ^ seed)
 }
 
 /// A deterministic pseudo-random value in `(0, 1)` derived from `x` with the
@@ -51,21 +62,21 @@ fn jitter01(x: u64) -> f64 {
 }
 
 /// Point identifiers sorted by decreasing local density (ties impossible after
-/// jittering).
+/// jittering). Uses [`f64::total_cmp`] so the order stays total and
+/// deterministic even when a caller smuggles in NaN densities — `partial_cmp`
+/// with an `Equal` fallback would make NaN compare equal to *everything*,
+/// yielding an order that depends on the sort's partition choices.
 pub fn descending_density_order(rho: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..rho.len()).collect();
-    order.sort_unstable_by(|&a, &b| {
-        rho[b].partial_cmp(&rho[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_unstable_by(|&a, &b| rho[b].total_cmp(&rho[a]));
     order
 }
 
-/// Point identifiers sorted by increasing local density.
+/// Point identifiers sorted by increasing local density (total, like
+/// [`descending_density_order`]).
 pub fn ascending_density_order(rho: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..rho.len()).collect();
-    order.sort_unstable_by(|&a, &b| {
-        rho[a].partial_cmp(&rho[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_unstable_by(|&a, &b| rho[a].total_cmp(&rho[b]));
     order
 }
 
@@ -165,6 +176,38 @@ mod tests {
     fn jittered_density_preserves_count_ordering() {
         assert!(jittered_density(5, 0, 1) > jittered_density(4, 99, 1));
         assert!(jittered_density(10, 7, 1) < jittered_density(11, 3, 1));
+    }
+
+    #[test]
+    fn keyed_jitter_agrees_with_index_jitter_on_equal_keys() {
+        for id in [0usize, 1, 7, 4096, 123_456] {
+            assert_eq!(
+                jittered_density(3, id, 0x5eed).to_bits(),
+                jittered_density_keyed(3, id as u64, 0x5eed).to_bits()
+            );
+        }
+        assert_ne!(jittered_density_keyed(0, 1, 9), jittered_density_keyed(0, 2, 9));
+    }
+
+    #[test]
+    fn density_orders_are_total_even_with_nan() {
+        // Adversarial ρ containing NaN: the order must still be a permutation,
+        // deterministic, and place NaN consistently (total_cmp puts positive
+        // NaN above +∞).
+        let rho = vec![1.0, f64::NAN, 3.0, f64::NAN, 2.0];
+        let desc = descending_density_order(&rho);
+        let mut seen = desc.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(desc, descending_density_order(&rho), "must be deterministic");
+        let asc = ascending_density_order(&rho);
+        assert_eq!(asc, ascending_density_order(&rho), "must be deterministic");
+        let mut top: Vec<usize> = desc[..2].to_vec();
+        top.sort_unstable();
+        assert_eq!(top, vec![1, 3], "NaNs sort above every finite density");
+        let mut bottom: Vec<usize> = asc[3..].to_vec();
+        bottom.sort_unstable();
+        assert_eq!(bottom, vec![1, 3], "ascending order mirrors the NaN placement");
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod model;
 pub mod params;
 pub mod result;
 pub mod sapprox;
+pub mod streaming;
 
 pub use approx::ApproxDpc;
 pub use error::DpcError;
@@ -66,6 +67,7 @@ pub use model::DpcModel;
 pub use params::{DpcParams, Thresholds};
 pub use result::{Clustering, DecisionGraph, Timings, NOISE};
 pub use sapprox::SApproxDpc;
+pub use streaming::StreamingDpc;
 
 /// Per-point cluster labels: `labels[i]` is the cluster index of point `i`, or
 /// [`NOISE`] (−1) when the point was classified as noise.

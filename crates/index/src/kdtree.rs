@@ -219,6 +219,17 @@ impl<'a> KdTree<'a> {
         self.ids.is_empty()
     }
 
+    /// The root bounding box `(lows, highs)` over every indexed point, or
+    /// `None` for an empty tree. Callers use it to bound expanding-radius
+    /// search loops: any ball centred at `q` with radius at least the
+    /// distance from `q` to the farthest box corner covers the whole tree.
+    pub fn root_bounds(&self) -> Option<(&[f64], &[f64])> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        Some(self.bounds[..2 * self.dim].split_at(self.dim))
+    }
+
     /// Borrowed view of the packed storage: everything a query needs, nothing
     /// that owns an allocation. Queries on the view answer identically to the
     /// same queries on the tree — the tree's own query methods delegate to it

@@ -84,6 +84,19 @@ pub(crate) fn classify_prepared(
     deadline: &Deadline,
     precomputed_rho: Option<f64>,
 ) -> Result<AssignResponse, ServeError> {
+    classify_instrumented(snapshot, point, deadline, precomputed_rho).map(|(r, _)| r)
+}
+
+/// [`classify_prepared`] that also reports how many expanding-radius rounds
+/// the dependent search ran. Exposed to the tests pinning the radius clamp:
+/// a far-outlier query must converge in a constant number of rounds, not
+/// double its way through dozens of futile traversals.
+pub(crate) fn classify_instrumented(
+    snapshot: &Snapshot,
+    point: &[f64],
+    deadline: &Deadline,
+    precomputed_rho: Option<f64>,
+) -> Result<(AssignResponse, usize), ServeError> {
     deadline.check()?;
     if point.len() != snapshot.dim() {
         return Err(DpcError::DimensionMismatch {
@@ -113,29 +126,56 @@ pub(crate) fn classify_prepared(
         let rho = model.rho_at(nn);
         let delta = model.delta_at(nn);
         let dependent = model.dependent_at(nn);
-        return Ok(AssignResponse {
-            epoch: snapshot.epoch(),
-            n,
-            rho,
-            delta,
-            dependent: if dependent == nn { None } else { Some(dependent) },
-            label: clustering.assignment[nn],
-            would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
-        });
+        return Ok((
+            AssignResponse {
+                epoch: snapshot.epoch(),
+                n,
+                rho,
+                delta,
+                dependent: if dependent == nn { None } else { Some(dependent) },
+                label: clustering.assignment[nn],
+                would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
+            },
+            0,
+        ));
     }
 
     let rho = precomputed_rho
         .unwrap_or_else(|| tree.range_count(point, snapshot.dcut(), None) as f64 + 0.5);
 
+    // Any radius reaching the farthest corner of the root bounding box covers
+    // every fitted point, so doubling past `r_max` is pure waste: a far
+    // outlier's first ball already contains the whole dataset, but the
+    // unclamped doubling would have to walk the radius all the way from
+    // `nn_dist` to past the data diameter (or worse, to ∞) in futile rounds.
+    // The tiny relative bump keeps the cover property under the rounding of
+    // the distance computation itself.
+    let bounds = tree.root_bounds().expect("snapshot datasets are never empty");
+    let r_max = {
+        let (lo, hi) = bounds;
+        let far_sq: f64 = point
+            .iter()
+            .zip(lo.iter().zip(hi.iter()))
+            .map(|(&c, (&l, &h))| {
+                let d = (c - l).abs().max((h - c).abs());
+                d * d
+            })
+            .sum();
+        far_sq.sqrt() * (1.0 + 1e-9)
+    };
+
     // Expanding-radius search for the nearest fitted point denser than the
     // query. Any qualifier inside the current ball bounds the answer inside
-    // the same ball, so the first non-empty round is conclusive.
-    let mut radius = nn_dist.max(snapshot.dcut());
+    // the same ball, so the first non-empty round is conclusive; the round
+    // running at the clamp is provably total (its ball holds all `n` points).
+    let mut radius = nn_dist.max(snapshot.dcut()).min(r_max);
+    let mut rounds = 0usize;
     let mut ball = Vec::new();
     let (dependent, delta) = loop {
         // Each round multiplies the searched volume, so checking here bounds
         // the wasted work to one round past the budget.
         deadline.check()?;
+        rounds += 1;
         ball.clear();
         tree.range_search_into(point, radius, &mut ball);
         let best = ball
@@ -151,22 +191,25 @@ pub(crate) fn classify_prepared(
             // it would have been the globally densest point.
             break (None, f64::INFINITY);
         }
-        radius *= 2.0;
+        radius = (radius * 2.0).min(r_max);
     };
 
     let label = match dependent {
         Some(j) if rho >= thresholds.rho_min => clustering.assignment[j],
         _ => NOISE,
     };
-    Ok(AssignResponse {
-        epoch: snapshot.epoch(),
-        n,
-        rho,
-        delta,
-        dependent,
-        label,
-        would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
-    })
+    Ok((
+        AssignResponse {
+            epoch: snapshot.epoch(),
+            n,
+            rho,
+            delta,
+            dependent,
+            label,
+            would_be_center: rho >= thresholds.rho_min && delta >= thresholds.delta_min,
+        },
+        rounds,
+    ))
 }
 
 #[cfg(test)]
@@ -217,6 +260,31 @@ mod tests {
         assert_eq!(r.label, NOISE);
         assert!(r.delta.is_finite(), "some fitted point is denser than ρ=0.5");
         assert!(!r.would_be_center);
+    }
+
+    #[test]
+    fn a_far_outlier_converges_in_a_bounded_number_of_rounds() {
+        let snap = snapshot();
+        let deadline = Deadline::none();
+        // Far outside the root bounding box on every axis. The clamp pins the
+        // expanding radius at the box's far corner, so the search needs at
+        // most "nearest point" + "whole dataset" rounds; the unclamped
+        // doubling had no such cap and its round count scaled with
+        // log(query distance / d_cut).
+        let q = [-1.0e6, 1.0e6];
+        let (r, rounds) = classify_instrumented(&snap, &q, &deadline, None).unwrap();
+        assert_eq!(r.rho, 0.5);
+        assert_eq!(r.label, NOISE);
+        assert!(r.delta.is_finite(), "some fitted point out-ranks ρ = 0.5");
+        assert!(rounds <= 2, "far outlier took {rounds} rounds");
+
+        // Same far query pretending to out-rank the whole dataset: the search
+        // must conclude "globally densest" right after covering the box
+        // instead of doubling onward toward infinity.
+        let (r, rounds) = classify_instrumented(&snap, &q, &deadline, Some(1.0e9)).unwrap();
+        assert!(r.delta.is_infinite());
+        assert_eq!(r.dependent, None);
+        assert!(rounds <= 3, "densest far outlier took {rounds} rounds");
     }
 
     #[test]

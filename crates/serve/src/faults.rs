@@ -37,7 +37,7 @@ use dpc_geometry::Dataset;
 use dpc_rng::splitmix64;
 
 /// Number of [`FaultPoint`] variants; sizes the per-point counter arrays.
-const POINTS: usize = 6;
+const POINTS: usize = 7;
 
 /// A named place in the serving stack where a fault can be injected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +59,11 @@ pub enum FaultPoint {
     /// bypassing `Thresholds::new`). The server never consults this point —
     /// it models a malicious or buggy client, not a server fault.
     CorruptThresholds,
+    /// The streaming ingest handler panics *after* taking the window lock but
+    /// *before* mutating the engine (exercises lock-poisoning recovery: the
+    /// engine state is provably untouched, so the next ingest may safely
+    /// clear the poison and continue).
+    IngestPanic,
 }
 
 impl FaultPoint {
@@ -71,6 +76,7 @@ impl FaultPoint {
             FaultPoint::SlowRequest => 3,
             FaultPoint::RequestPanic => 4,
             FaultPoint::CorruptThresholds => 5,
+            FaultPoint::IngestPanic => 6,
         }
     }
 
@@ -86,6 +92,7 @@ impl FaultPoint {
             0x3c6e_f372_fe94_f82b,
             0xa54f_f53a_5f1d_36f1,
             0x510e_527f_ade6_82d1,
+            0x9b05_688c_2b3e_6c1f,
         ][self.index()]
     }
 }

@@ -92,7 +92,8 @@ pub use error::{Deadline, ServeError};
 pub use faults::{FaultInjector, FaultPlan, FaultPoint, FaultyAlgorithm};
 pub use health::{Health, RefitPolicy};
 pub use request::{
-    AssignResponse, HealthResponse, RelabelResponse, Request, Response, StatsResponse,
+    AssignResponse, HealthResponse, IngestResponse, RelabelResponse, Request, Response,
+    StatsResponse,
 };
 pub use server::{DpcServer, ServeConfig, ServeCounters};
 pub use snapshot::Snapshot;

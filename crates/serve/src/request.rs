@@ -35,6 +35,14 @@ pub enum Request {
     /// Classify one incoming point (its coordinates, `dim`-long) against the
     /// snapshot without refitting.
     Assign(Vec<f64>),
+    /// Absorb one incoming point into the server's streaming window (its
+    /// coordinates, `dim`-long): ρ is updated incrementally for the points
+    /// whose `d_cut` ball the newcomer enters and δ is repaired lazily, so
+    /// the stream advances epochs without ever refitting from scratch. Only
+    /// answered by servers built with
+    /// [`DpcServer::with_streaming`](crate::DpcServer::with_streaming);
+    /// otherwise [`ServeError::Unsupported`](crate::ServeError::Unsupported).
+    Ingest(Vec<f64>),
     /// Report the serving state of the current epoch.
     Stats,
     /// Report the serving condition: store health and failure counters.
@@ -50,6 +58,8 @@ pub enum Response {
     Relabel(RelabelResponse),
     /// Answer to [`Request::Assign`].
     Assign(AssignResponse),
+    /// Answer to [`Request::Ingest`].
+    Ingest(IngestResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
     /// Answer to [`Request::Health`].
@@ -62,6 +72,7 @@ impl Response {
         match self {
             Response::Relabel(r) => r.epoch,
             Response::Assign(r) => r.epoch,
+            Response::Ingest(r) => r.epoch,
             Response::Stats(r) => r.epoch,
             Response::Health(r) => r.epoch,
         }
@@ -112,6 +123,28 @@ pub struct AssignResponse {
     /// snapshot's default thresholds (`ρ ≥ ρ_min` and `δ ≥ δ_min`) — the
     /// serving-time signal that the model is going stale and a refit is due.
     pub would_be_center: bool,
+}
+
+/// Acknowledgement of one streamed point absorbed into the serving window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestResponse {
+    /// Epoch the response was computed against: the freshly published epoch
+    /// when `published` is `true`, otherwise the epoch that was serving when
+    /// the point was absorbed (the streamed state becomes visible to readers
+    /// at the *next* publish).
+    pub epoch: u64,
+    /// The stable identifier assigned to the ingested point. Stable ids are
+    /// the streaming jitter keys: a fresh keyed fit of the surviving window
+    /// under these ids reproduces the streamed densities bitwise.
+    pub id: u64,
+    /// Number of live points in the streaming window after this ingest.
+    pub n: usize,
+    /// Number of points the sliding window expired while absorbing this one
+    /// (always `0` without a window).
+    pub expired: usize,
+    /// Whether this ingest crossed the publish threshold and installed the
+    /// streamed state as a new serving epoch.
+    pub published: bool,
 }
 
 /// Serving state of one epoch.
@@ -174,6 +207,13 @@ mod tests {
             label: 1,
             would_be_center: false,
         });
+        let ingest = Response::Ingest(IngestResponse {
+            epoch: 7,
+            id: 42,
+            n: 11,
+            expired: 1,
+            published: true,
+        });
         let stats = Response::Stats(StatsResponse {
             epoch: 5,
             n: 10,
@@ -192,6 +232,7 @@ mod tests {
         });
         assert_eq!(relabel.epoch(), 3);
         assert_eq!(assign.epoch(), 4);
+        assert_eq!(ingest.epoch(), 7);
         assert_eq!(stats.epoch(), 5);
         assert_eq!(health.epoch(), 6);
     }

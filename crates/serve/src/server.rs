@@ -35,10 +35,10 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use dpc_core::{DpcAlgorithm, DpcError, Thresholds};
+use dpc_core::{DpcAlgorithm, DpcError, DpcParams, StreamingDpc, Thresholds};
 use dpc_geometry::Dataset;
 use dpc_index::batchq::BatchRangeCount;
 use dpc_parallel::Executor;
@@ -46,7 +46,9 @@ use dpc_parallel::Executor;
 use crate::assign::classify_prepared;
 use crate::error::{Deadline, ServeError};
 use crate::faults::{FaultInjector, FaultPoint};
-use crate::request::{HealthResponse, RelabelResponse, Request, Response, StatsResponse};
+use crate::request::{
+    HealthResponse, IngestResponse, RelabelResponse, Request, Response, StatsResponse,
+};
 use crate::snapshot::Snapshot;
 use crate::store::ModelStore;
 
@@ -122,11 +124,28 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// The mutable half of streaming mode: the maintenance engine plus the
+/// publish cadence. Lives behind one [`Mutex`] — ingest is the single write
+/// path of the server, and serialising writers is exactly the streaming
+/// engine's contract (readers never touch this state; they read the
+/// immutable published snapshots).
+struct StreamingIngest {
+    engine: StreamingDpc,
+    /// Ingests absorbed since the last publish.
+    since_publish: usize,
+    /// Publish (install the streamed state as a new epoch) every this many
+    /// ingests; `≥ 1`.
+    publish_every: usize,
+    /// Executor used to build the published snapshot's kd-tree.
+    executor: Executor,
+}
+
 /// A clustering server: a [`ModelStore`] plus the request dispatch over it.
 pub struct DpcServer {
     store: ModelStore,
     config: ServeConfig,
     faults: Option<Arc<FaultInjector>>,
+    streaming: Option<Mutex<StreamingIngest>>,
     in_flight: AtomicUsize,
     counters: Counters,
 }
@@ -147,6 +166,7 @@ impl DpcServer {
             store: ModelStore::fit(algo, data, thresholds, executor)?,
             config: ServeConfig::default(),
             faults: None,
+            streaming: None,
             in_flight: AtomicUsize::new(0),
             counters: Counters::default(),
         })
@@ -164,6 +184,7 @@ impl DpcServer {
             store: ModelStore::open(path)?,
             config: ServeConfig::default(),
             faults: None,
+            streaming: None,
             in_flight: AtomicUsize::new(0),
             counters: Counters::default(),
         })
@@ -182,6 +203,52 @@ impl DpcServer {
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Turns on streaming mode: the server answers [`Request::Ingest`] by
+    /// absorbing points into a [`StreamingDpc`] maintenance engine seeded
+    /// from the *current* snapshot's points (stable ids `0..n-1`, matching
+    /// the fitted jitter when `params` carries the fitted seed), and installs
+    /// the streamed state as a new epoch every `publish_every` ingests — the
+    /// stream advances epochs without ever refitting from scratch.
+    ///
+    /// `window` is the optional sliding-window configuration
+    /// `(capacity, batch)` (see [`StreamingDpc::with_window`]): the engine
+    /// keeps at most `capacity` points, expiring the oldest in batches of
+    /// `batch` once the overshoot reaches one batch.
+    ///
+    /// # Errors
+    /// Propagates the engine's [`DpcError`]s: invalid `params`, or a seed
+    /// snapshot whose points the engine rejects.
+    ///
+    /// # Panics
+    /// Panics if `publish_every == 0` or a provided `window` has a zero
+    /// capacity or batch.
+    pub fn with_streaming(
+        mut self,
+        params: DpcParams,
+        window: Option<(usize, usize)>,
+        publish_every: usize,
+    ) -> Result<Self, DpcError> {
+        assert!(publish_every >= 1, "publish_every must be at least 1");
+        let snapshot = self.store.snapshot();
+        let mut engine = StreamingDpc::new(params, snapshot.dim())?;
+        if let Some((capacity, batch)) = window {
+            engine = engine.with_window(capacity, batch);
+        }
+        for i in 0..snapshot.n() {
+            engine.insert(snapshot.data().point(i))?;
+        }
+        // Seeding can already expire the oldest points of an over-capacity
+        // snapshot; those expiries predate any client ingest.
+        engine.drain_expired();
+        self.streaming = Some(Mutex::new(StreamingIngest {
+            engine,
+            since_publish: 0,
+            publish_every,
+            executor: Executor::single(),
+        }));
+        Ok(self)
     }
 
     /// The active robustness configuration.
@@ -381,6 +448,13 @@ impl DpcServer {
                     panic!("injected request panic");
                 }
             }
+            // Ingest is the one request that mutates server state, so it
+            // cannot go through the static snapshot-only handler; it still
+            // runs inside this bracket so an ingest panic is isolated and
+            // counted like any other handler panic.
+            if let Request::Ingest(point) = request {
+                return self.handle_ingest(point, deadline);
+            }
             Self::handle_within(snapshot, request, deadline, assign_rho)
         }));
         match outcome {
@@ -443,10 +517,60 @@ impl DpcServer {
                     index_bytes: snapshot.index_bytes(),
                 }))
             }
+            Request::Ingest(_) => {
+                // Reached only from `handle_on`: ingest needs the server's
+                // streaming engine, which a bare pinned snapshot does not
+                // have. (The server paths route Ingest to `handle_ingest`
+                // before this handler, where a missing engine reports the
+                // same error.)
+                Err(ServeError::Unsupported { what: "Ingest without streaming mode" })
+            }
             Request::Health => {
                 Err(ServeError::Unsupported { what: "Health against a pinned snapshot" })
             }
         }
+    }
+
+    /// The ingest handler: absorbs one point into the streaming engine and —
+    /// every `publish_every` ingests — publishes the streamed state as a new
+    /// serving epoch.
+    ///
+    /// The window mutex is recovered from poisoning rather than propagated:
+    /// the only panic that can land while it is held is the injected
+    /// [`FaultPoint::IngestPanic`] (or an engine bug caught by its own
+    /// invariants), and the injected point deliberately fires *before* any
+    /// engine mutation, so a poisoned lock still guards a consistent engine.
+    fn handle_ingest(&self, point: &[f64], deadline: &Deadline) -> Result<Response, ServeError> {
+        let Some(streaming) = &self.streaming else {
+            return Err(ServeError::Unsupported { what: "Ingest without streaming mode" });
+        };
+        let mut guard = streaming.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(faults) = &self.faults {
+            if faults.fires(FaultPoint::IngestPanic) {
+                panic!("injected ingest panic");
+            }
+        }
+        deadline.check()?;
+        let id = guard.engine.insert(point)?;
+        let expired = guard.engine.drain_expired().len();
+        guard.since_publish += 1;
+        let published = guard.since_publish >= guard.publish_every;
+        let epoch = if published {
+            guard.since_publish = 0;
+            let (data, _ids, model) = guard.engine.to_parts()?;
+            let thresholds = self.store.snapshot().thresholds();
+            let snapshot = Snapshot::new(Arc::new(data), model, thresholds, &guard.executor);
+            self.store.install(snapshot)
+        } else {
+            self.store.epoch()
+        };
+        Ok(Response::Ingest(IngestResponse {
+            epoch,
+            id,
+            n: guard.engine.len(),
+            expired,
+            published,
+        }))
     }
 }
 
@@ -652,6 +776,91 @@ mod tests {
         assert!(matches!(err, ServeError::Unsupported { .. }), "{err:?}");
         // Everything else works against a pinned snapshot.
         assert!(DpcServer::handle_on(&snap, &Request::Stats).is_ok());
+    }
+
+    #[test]
+    fn ingest_without_streaming_is_unsupported() {
+        let srv = server();
+        let err = srv.handle(&Request::Ingest(vec![0.0, 0.0])).unwrap_err();
+        assert!(matches!(err, ServeError::Unsupported { .. }), "{err:?}");
+        let snap = srv.snapshot();
+        let err = DpcServer::handle_on(&snap, &Request::Ingest(vec![0.0, 0.0])).unwrap_err();
+        assert!(matches!(err, ServeError::Unsupported { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn ingest_advances_epochs_without_refitting() {
+        // Streaming params mirror the fitted ones (dcut 4.0, default jitter
+        // seed), so the seeded engine reproduces the fitted densities and
+        // every published epoch is a plain continuation of the stream.
+        let srv = server().with_streaming(DpcParams::new(4.0), None, 5).unwrap();
+        let n0 = srv.snapshot().n();
+        let mut published_at = Vec::new();
+        for i in 0..12 {
+            let r = match srv.handle(&Request::Ingest(vec![0.3 * i as f64, 0.1])) {
+                Ok(Response::Ingest(r)) => r,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(r.id, (n0 + i) as u64, "stable ids continue the seed numbering");
+            assert_eq!(r.n, n0 + i + 1);
+            assert_eq!(r.expired, 0, "no window, nothing expires");
+            if r.published {
+                published_at.push(i);
+                assert_eq!(r.epoch, srv.epoch(), "published response names the new epoch");
+            }
+        }
+        assert_eq!(published_at, vec![4, 9], "publish every 5 ingests");
+        assert_eq!(srv.epoch(), 3, "two publishes on top of the fitted epoch 1");
+        // The served snapshot is the streamed state, not a refit.
+        let stats = match srv.handle(&Request::Stats) {
+            Ok(Response::Stats(s)) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.algorithm, "Streaming-DPC");
+        assert_eq!(stats.n, n0 + 10, "the published epoch holds the first 10 ingests");
+    }
+
+    #[test]
+    fn ingest_window_expires_the_seeded_points_first() {
+        // Window capacity below the seed size: the first batch expiry evicts
+        // seeded points (the oldest stable ids) before any client ingest.
+        let srv = server().with_streaming(DpcParams::new(4.0), Some((160, 30)), 1000).unwrap();
+        let mut total_expired = 0usize;
+        for i in 0..80 {
+            let r = match srv.handle(&Request::Ingest(vec![30.0 + 0.2 * i as f64, 30.0])) {
+                Ok(Response::Ingest(r)) => r,
+                other => panic!("{other:?}"),
+            };
+            assert!(r.n <= 160 + 30, "window overshoot is bounded by one batch");
+            total_expired += r.expired;
+        }
+        assert!(total_expired > 0, "a capped window under load must expire");
+        assert_eq!(srv.epoch(), 1, "publish_every not reached: no epoch installed");
+    }
+
+    #[test]
+    fn an_ingest_panic_is_isolated_and_the_window_recovers() {
+        let faults =
+            FaultInjector::shared(FaultPlan::new(3).with_rate(FaultPoint::IngestPanic, 1.0));
+        let srv = server()
+            .with_streaming(DpcParams::new(4.0), None, 3)
+            .unwrap()
+            .with_faults(Arc::clone(&faults));
+        let n0 = srv.snapshot().n();
+        let err = srv.handle(&Request::Ingest(vec![0.0, 0.0])).unwrap_err();
+        assert_eq!(err, ServeError::HandlerPanic { payload: "injected ingest panic".into() });
+        assert_eq!(srv.counters().panicked, 1);
+        // The panic fired before any engine mutation, so after the storm the
+        // stream continues from an unchanged, consistent window.
+        faults.disarm();
+        for i in 0..3 {
+            let r = match srv.handle(&Request::Ingest(vec![0.5 * i as f64, -0.5])) {
+                Ok(Response::Ingest(r)) => r,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(r.n, n0 + i + 1, "the faulted ingest left no partial point behind");
+        }
+        assert_eq!(srv.epoch(), 2, "publishing works after lock-poison recovery");
     }
 
     #[test]

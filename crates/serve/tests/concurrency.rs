@@ -149,8 +149,8 @@ fn readers_see_exactly_one_epoch_per_response_under_swap_churn() {
                                         }
                                     }
                                 }
-                                Response::Health(_) => {
-                                    unreachable!("no Health request was sent")
+                                Response::Health(_) | Response::Ingest(_) => {
+                                    unreachable!("no Health or Ingest request was sent")
                                 }
                             }
                             seen_epochs = seen_epochs.max(epoch);
@@ -173,6 +173,136 @@ fn readers_see_exactly_one_epoch_per_response_under_swap_churn() {
     });
 
     assert_eq!(server.epoch(), EPOCHS as u64);
+}
+
+/// One ingest writer streams a drifting point sequence through a
+/// sliding-window server (so publishes *and* expiry happen mid-test) while
+/// readers hammer `Stats`/`Relabel`/`Assign`. The window arithmetic is
+/// deterministic for a single writer, so the per-epoch window size is
+/// precomputed into an expectation table; every response must match the
+/// table entry of the epoch it claims, and each reader's observed epoch
+/// sequence must be monotone — a torn publish or a response mixing two
+/// epochs' windows would violate one of the two.
+#[test]
+fn streaming_ingest_publishes_consistent_epochs_under_reader_churn() {
+    const SEED_N: usize = 60;
+    const INGESTS: usize = 360;
+    const PUBLISH_EVERY: usize = 40;
+    const CAP: usize = 220;
+    const BATCH: usize = 30;
+
+    // Expectation table, indexed by epoch: the streamed window's size. The
+    // replayed arithmetic is exactly the engine's: +1 per ingest, and a batch
+    // expiry back to `CAP` whenever the overshoot reaches `BATCH`.
+    let mut expected: HashMap<u64, usize> = HashMap::new();
+    expected.insert(1, SEED_N);
+    {
+        let mut live = SEED_N;
+        let mut epoch = 1u64;
+        for i in 0..INGESTS {
+            live += 1;
+            if live >= CAP + BATCH {
+                live = CAP;
+            }
+            if (i + 1) % PUBLISH_EVERY == 0 {
+                epoch += 1;
+                expected.insert(epoch, live);
+            }
+        }
+    }
+    let expected = &expected;
+    let final_epoch = 1 + (INGESTS / PUBLISH_EVERY) as u64;
+
+    let server = DpcServer::fit(
+        &ExDpc::new(DpcParams::new(DCUT)),
+        gaussian_blobs(&[(0.0, 0.0)], SEED_N, 2.0, 5),
+        thresholds(),
+        &Executor::single(),
+    )
+    .unwrap()
+    .with_streaming(DpcParams::new(DCUT), Some((CAP, BATCH)), PUBLISH_EVERY)
+    .unwrap();
+    let server = &server;
+    let writer_done = AtomicBool::new(false);
+    let writer_done = &writer_done;
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            let mut last_epoch = 1u64;
+            for i in 0..INGESTS {
+                // A drifting stream: by the end, the window's content shares
+                // nothing with the seeded blob, so expiry is doing real work.
+                let c = i as f64 * 0.05;
+                let r = match server.handle(&Request::Ingest(vec![c, c * 0.5])).unwrap() {
+                    Response::Ingest(r) => r,
+                    other => panic!("{other:?}"),
+                };
+                assert_eq!(r.id, (SEED_N + i) as u64, "stable ids are the arrival numbering");
+                if r.published {
+                    assert_eq!(r.epoch, last_epoch + 1, "publishes install sequential epochs");
+                    last_epoch = r.epoch;
+                    assert_eq!(Some(&r.n), expected.get(&r.epoch), "published window size");
+                } else {
+                    assert_eq!(r.epoch, last_epoch, "sole writer: epoch moves only on publish");
+                }
+            }
+            writer_done.store(true, Ordering::Release);
+            last_epoch
+        });
+
+        let readers: Vec<_> = (0..3)
+            .map(|rd| {
+                scope.spawn(move || {
+                    let mut last_seen = 0u64;
+                    loop {
+                        let done = writer_done.load(Ordering::Acquire);
+                        for variant in 0..3 {
+                            let request = match (variant + rd) % 3 {
+                                0 => Request::Stats,
+                                1 => Request::Relabel(thresholds()),
+                                _ => Request::Assign(vec![0.5 + rd as f64 * 0.1, 0.2]),
+                            };
+                            let response = server.handle(&request).unwrap();
+                            let epoch = response.epoch();
+                            assert!(
+                                epoch >= last_seen,
+                                "epoch went backwards: {last_seen} → {epoch}"
+                            );
+                            last_seen = epoch;
+                            let &n = expected
+                                .get(&epoch)
+                                .unwrap_or_else(|| panic!("response from unknown epoch {epoch}"));
+                            match response {
+                                Response::Stats(s) => {
+                                    assert_eq!(s.n, n, "Stats.n torn across epochs");
+                                    assert_eq!(s.dim, 2);
+                                    let algorithm =
+                                        if epoch == 1 { "Ex-DPC" } else { "Streaming-DPC" };
+                                    assert_eq!(s.algorithm, algorithm);
+                                }
+                                Response::Relabel(rr) => {
+                                    assert_eq!(rr.n, n, "Relabel.n torn across epochs");
+                                }
+                                Response::Assign(a) => {
+                                    assert_eq!(a.n, n, "Assign.n torn across epochs");
+                                }
+                                other => unreachable!("{other:?}"),
+                            }
+                        }
+                        if done && last_seen == final_epoch {
+                            break;
+                        }
+                    }
+                    last_seen
+                })
+            })
+            .collect();
+
+        assert_eq!(writer.join().unwrap(), final_epoch);
+        for reader in readers {
+            assert_eq!(reader.join().unwrap(), final_epoch, "every reader saw the final epoch");
+        }
+    });
 }
 
 /// Pinned snapshots outlive any number of swaps: a reader holding an epoch-1

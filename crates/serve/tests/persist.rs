@@ -142,6 +142,10 @@ fn save_then_open_round_trips_through_a_refit() {
                 x.epoch = 0;
                 Response::Assign(x)
             }
+            Response::Ingest(mut x) => {
+                x.epoch = 0;
+                Response::Ingest(x)
+            }
             Response::Stats(mut x) => {
                 x.epoch = 0;
                 Response::Stats(x)

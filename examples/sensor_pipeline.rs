@@ -10,6 +10,11 @@
 //! snapshot. Readers never block on a refit and never see half an epoch:
 //! every response names the epoch it was computed from.
 //!
+//! The final act retires the refit-per-window loop entirely: the server
+//! switches to streaming mode (`with_streaming` + `Request::Ingest`) and
+//! absorbs readings one at a time through a sliding window, publishing
+//! fresh epochs from the maintained model without ever refitting again.
+//!
 //! ```text
 //! cargo run --release --example sensor_pipeline
 //! ```
@@ -51,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let algo = SApproxDpc::new(params).with_epsilon(0.8);
     let first = window(0);
     println!("sensor readings : {} x {}d per window", first.len(), first.dim());
-    let server = DpcServer::fit(&algo, first, thresholds, &executor)?;
-    let server = &server;
+    let owned = DpcServer::fit(&algo, first, thresholds, &executor)?;
+    let server = &owned;
 
     // Fresh readings to classify, "arriving" while the service runs: drawn
     // from the same sensor distribution, perturbed by measurement noise.
@@ -197,6 +202,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let Response::Health(h) = server.handle(&Request::Health)? else { unreachable!() };
     assert_eq!(h.health, Health::Healthy);
     println!("[chaos]      storm over: epoch {epoch} installed, health {:?}", h.health);
+
+    // ------------------------------------------------------------------
+    // Streaming mode: stop refitting per window and let the model follow
+    // the stream. `with_streaming` seeds a StreamingDpc maintenance
+    // engine from the live snapshot; each `Request::Ingest` absorbs one
+    // reading exactly (localized ρ update + lazy δ repair — the streamed
+    // state is bitwise a fresh fit of the surviving window), the sliding
+    // window expires the oldest readings in batches, and every
+    // `publish_every` ingests the streamed state installs as a new epoch
+    // — no refit ever runs again.
+    // ------------------------------------------------------------------
+    let window_n = owned.snapshot().n();
+    let server = owned.with_streaming(DpcParams::new(dcut), Some((window_n, 500)), 250)?;
+    let before = server.epoch();
+    let (mut expired, mut published) = (0usize, 0usize);
+    for k in 0..1_000u64 {
+        let base = incoming.point((k % incoming.len() as u64) as usize);
+        let reading: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| v + jiggle(k * 8 + j as u64) * 0.05 * dcut)
+            .collect();
+        match server.handle(&Request::Ingest(reading))? {
+            Response::Ingest(ack) => {
+                expired += ack.expired;
+                published += usize::from(ack.published);
+            }
+            other => unreachable!("{other:?}"),
+        }
+    }
+    assert_eq!(server.epoch(), before + published as u64);
+    println!(
+        "[streaming]  1000 readings ingested: {published} epochs published without a refit, \
+         {expired} expired from the {window_n}-reading window"
+    );
 
     // The service has drained to its final epoch; report its state.
     match server.handle(&Request::Stats)? {

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use dpc_baselines::{CfsfdpA, Dbscan, LshDdp, RtreeScan, Scan};
     pub use dpc_core::{
         ApproxDpc, Assignment, Clustering, DecisionGraph, DpcAlgorithm, DpcError, DpcModel,
-        DpcParams, ExDpc, SApproxDpc, Thresholds, NOISE,
+        DpcParams, ExDpc, SApproxDpc, StreamingDpc, Thresholds, NOISE,
     };
     pub use dpc_data::generators::{gaussian_blobs, random_walk, s_set};
     pub use dpc_eval::{adjusted_rand_index, rand_index};
@@ -98,7 +98,7 @@ pub mod prelude {
     pub use dpc_parallel::Executor;
     pub use dpc_persist::{PersistModel, PersistTree, SnapshotArtifact};
     pub use dpc_serve::{
-        DpcServer, Health, ModelStore, RefitPolicy, Request, Response, ServeConfig, ServeError,
-        Snapshot,
+        DpcServer, Health, IngestResponse, ModelStore, RefitPolicy, Request, Response, ServeConfig,
+        ServeError, Snapshot,
     };
 }

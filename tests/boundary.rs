@@ -46,9 +46,9 @@ fn every_index_counts_boundary_points() {
     let ds = lattice();
     let kd = KdTree::build(&ds);
     let rt = RTree::build(&ds);
-    let mut inc = IncrementalKdTree::new(&ds);
+    let mut inc = IncrementalKdTree::new(ds.dim());
     for i in 0..ds.len() {
-        inc.insert(i);
+        inc.insert(i, ds.point(i));
     }
     let grid = Grid::build(&ds, 100.0); // one cell covering everything
     for i in 0..ds.len() {

@@ -430,6 +430,9 @@ mod serve_chaos {
                 // Counters only grow and stay internally consistent.
                 assert!(h.counters.admitted >= h.counters.timed_out + h.counters.panicked);
             }
+            Response::Ingest(_) => {
+                unreachable!("chaos readers never send Ingest; the ingest storm has its own test")
+            }
         }
     }
 
@@ -464,6 +467,181 @@ mod serve_chaos {
             }
         };
         chaos_run(seed, 0.10, 6);
+    }
+
+    /// The streaming write path under a storm: one ingest writer streams
+    /// through injected ingest panics — which fire while the window lock is
+    /// held, so every one poisons and then recovers the lock — while readers
+    /// keep hammering the read mix. The single-writer window arithmetic must
+    /// stay exactly predictable across faults (a faulted ingest leaves no
+    /// partial point behind), and after disarming, one clean publish cycle
+    /// must advance the epoch as if the storm never happened. Replays via
+    /// `CHAOS_SEED` like the randomized leg.
+    #[test]
+    fn serve_chaos_ingest_storm_leaves_the_window_consistent() {
+        silence_injected_panics();
+        let seed = match std::env::var("CHAOS_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or_else(|_| panic!("CHAOS_SEED={s} is not a u64")),
+            Err(_) => 0xC0FFEE77,
+        };
+        println!("ingest chaos seed {seed} (replay: CHAOS_SEED={seed})");
+        const CAP: usize = 150;
+        const BATCH: usize = 30;
+        const PUBLISH_EVERY: usize = 25;
+        const INGESTS: usize = 300;
+
+        let plan = FaultPlan::new(seed)
+            .with_rate(FaultPoint::IngestPanic, 0.20)
+            .with_rate(FaultPoint::RequestPanic, 0.05)
+            .with_rate(FaultPoint::SlowRequest, 0.05)
+            .with_slow_request(Duration::from_micros(200));
+        let faults = FaultInjector::shared(plan);
+        let server = DpcServer::fit(
+            &ExDpc::new(DpcParams::new(DCUT)),
+            family_dataset(1),
+            thresholds(),
+            &Executor::single(),
+        )
+        .unwrap()
+        .with_streaming(DpcParams::new(DCUT), Some((CAP, BATCH)), PUBLISH_EVERY)
+        .unwrap()
+        .with_faults(Arc::clone(&faults));
+        let server = &server;
+        let seed_n = server.snapshot().n();
+        let writer_done = AtomicBool::new(false);
+        let writer_done = &writer_done;
+
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(move || {
+                // The writer's replica of the window arithmetic; a faulted
+                // ingest must not advance it.
+                let mut live = seed_n;
+                let mut successes = 0usize;
+                let mut epoch = 1u64;
+                let mut attempt = 0usize;
+                while successes < INGESTS {
+                    let c = attempt as f64 * 0.05;
+                    attempt += 1;
+                    match server.handle(&Request::Ingest(vec![c, 1.0 - c * 0.5])) {
+                        Ok(Response::Ingest(r)) => {
+                            live += 1;
+                            let mut expired = 0;
+                            if live >= CAP + BATCH {
+                                expired = live - CAP;
+                                live = CAP;
+                            }
+                            successes += 1;
+                            assert_eq!(r.n, live, "a faulted ingest left a partial point behind");
+                            assert_eq!(r.expired, expired, "window arithmetic diverged");
+                            assert_eq!(r.published, successes % PUBLISH_EVERY == 0);
+                            if r.published {
+                                epoch += 1;
+                                assert_eq!(r.epoch, epoch, "publishes install sequential epochs");
+                            }
+                        }
+                        Ok(other) => panic!("{other:?}"),
+                        Err(ServeError::HandlerPanic { payload }) => {
+                            assert!(payload.starts_with("injected"), "unexpected panic: {payload}");
+                        }
+                        Err(other) => panic!("unexpected ingest error: {other:?}"),
+                    }
+                }
+                writer_done.store(true, Ordering::Release);
+                epoch
+            });
+
+            let readers: Vec<_> = (0..3usize)
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut newest = 0u64;
+                        loop {
+                            let done = writer_done.load(Ordering::Acquire);
+                            for variant in 0..3usize {
+                                let request = match (variant + r) % 3 {
+                                    0 => Request::Stats,
+                                    1 => Request::Health,
+                                    _ => Request::Assign(vec![0.5 + 0.1 * r as f64, 0.5]),
+                                };
+                                match server.handle(&request) {
+                                    Ok(response) => {
+                                        let epoch = response.epoch();
+                                        assert!(
+                                            epoch >= newest,
+                                            "epoch went backwards: {epoch} after {newest}"
+                                        );
+                                        newest = epoch;
+                                        match response {
+                                            Response::Stats(s) => {
+                                                // Every published window obeys the
+                                                // sliding-window bound; epoch 1 is
+                                                // the seeded fit.
+                                                assert!(
+                                                    s.n == seed_n || s.n < CAP + BATCH,
+                                                    "torn window size {}",
+                                                    s.n
+                                                );
+                                                assert!(matches!(
+                                                    s.algorithm,
+                                                    "Ex-DPC" | "Streaming-DPC"
+                                                ));
+                                            }
+                                            Response::Assign(a) => {
+                                                assert!(a.n == seed_n || a.n < CAP + BATCH);
+                                            }
+                                            Response::Health(h) => {
+                                                assert!(
+                                                    h.counters.admitted
+                                                        >= h.counters.timed_out
+                                                            + h.counters.panicked
+                                                );
+                                            }
+                                            other => unreachable!("{other:?}"),
+                                        }
+                                    }
+                                    Err(ServeError::HandlerPanic { payload }) => {
+                                        assert!(payload.starts_with("injected"), "{payload}");
+                                    }
+                                    Err(other) => panic!("unexpected serve error: {other:?}"),
+                                }
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            let storm_epoch = writer.join().expect("the writer panicked outward");
+            assert_eq!(storm_epoch, 1 + (INGESTS / PUBLISH_EVERY) as u64);
+            for reader in readers {
+                reader.join().expect("a reader panicked outward");
+            }
+        });
+
+        // Storm over: one clean publish cycle continues the stream as if
+        // nothing happened (INGESTS is a multiple of PUBLISH_EVERY, so the
+        // cycle starts fresh).
+        faults.disarm();
+        let before = server.epoch();
+        let mut published = false;
+        for j in 0..PUBLISH_EVERY {
+            let r = match server.handle(&Request::Ingest(vec![100.0 + 0.01 * j as f64, -5.0])) {
+                Ok(Response::Ingest(r)) => r,
+                other => panic!("{other:?}"),
+            };
+            published |= r.published;
+        }
+        assert!(published, "a clean publish cycle must install an epoch");
+        assert_eq!(server.epoch(), before + 1);
+        let Ok(Response::Health(health)) = server.handle(&Request::Health) else {
+            panic!("Health must always answer")
+        };
+        let (_, request_panics) = faults.stats(FaultPoint::RequestPanic);
+        let (ingest_arrivals, ingest_panics) = faults.stats(FaultPoint::IngestPanic);
+        assert!(ingest_panics > 0, "the storm must actually have fired ingest faults");
+        assert_eq!(health.counters.panicked, request_panics + ingest_panics);
+        println!("  IngestPanic: {ingest_panics}/{ingest_arrivals} fired");
     }
 
     /// The degraded-counter arithmetic, end to end through `Request::Health`:

@@ -137,13 +137,13 @@ fn packed_fit_is_bit_identical_to_seed_tree_fit() {
         let order = descending_density_order(&rho);
         let mut dependent: Vec<usize> = (0..ds.len()).collect();
         let mut delta = vec![f64::INFINITY; ds.len()];
-        let mut inc = IncrementalKdTree::new(&ds);
-        inc.insert(order[0]);
+        let mut inc = IncrementalKdTree::new(ds.dim());
+        inc.insert(order[0], ds.point(order[0]));
         for &i in order.iter().skip(1) {
             let (nn, d) = inc.nearest_neighbor(ds.point(i), None).unwrap();
             dependent[i] = nn;
             delta[i] = d;
-            inc.insert(i);
+            inc.insert(i, ds.point(i));
         }
         let seed_model = DpcModel::from_parts(
             "seed",
@@ -393,9 +393,9 @@ fn incremental_kdtree_equals_bulk_kdtree() {
         let mut rng = StdRng::seed_from_u64(0xB220 + seed);
         let ds = random_dataset(&mut rng, 100);
         let bulk = KdTree::build(&ds);
-        let mut inc = IncrementalKdTree::new(&ds);
+        let mut inc = IncrementalKdTree::new(ds.dim());
         for id in 0..ds.len() {
-            inc.insert(id);
+            inc.insert(id, ds.point(id));
         }
         let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
         assert_eq!(
